@@ -1,0 +1,79 @@
+"""Figure 2: throughput vs. attack frequency for Scenarios 1-3.
+
+Regenerates both panels (2a sequential write, 2b sequential read) and
+asserts the paper's qualitative claims: a dead zone from ~300 Hz, wider
+for plastic than metal, writes worse than reads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    """The full-grid run shared by the assertion benches."""
+    return run_figure2(fio_runtime_s=0.5, seed=42)
+
+
+def _by_freq(sweep):
+    return {p.frequency_hz: p for p in sweep.points}
+
+
+def test_figure2a_sequential_write(benchmark, figure2_result, results_dir):
+    """Figure 2a: the write panel (regenerates a compact grid)."""
+
+    def regenerate():
+        return run_figure2(
+            frequencies_hz=[300.0, 650.0, 1000.0, 1300.0, 1700.0, 3000.0],
+            fio_runtime_s=0.3,
+            seed=42,
+        )
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    for name, sweep in result.sweeps.items():
+        points = _by_freq(sweep)
+        assert points[650.0].write_mbps < 1.0, f"{name} should be dead at 650 Hz"
+        assert points[3000.0].write_mbps > 20.0, f"{name} should be fine at 3 kHz"
+    # Paper shape: writes degrade at least as widely as reads.
+    for sweep in figure2_result.sweeps.values():
+        write_zero = sum(1 for p in sweep.points if p.write_mbps < 1.0)
+        read_zero = sum(1 for p in sweep.points if p.read_mbps < 1.0)
+        assert write_zero >= read_zero
+    benchmark.extra_info["baseline_write_mbps"] = figure2_result.sweeps[
+        "Scenario 2"
+    ].baseline_write_mbps
+    save_result(results_dir, "figure2", figure2_result.render())
+
+
+def test_figure2b_sequential_read(benchmark, figure2_result):
+    """Figure 2b: the read panel, plus the band-edge orderings."""
+
+    def regenerate():
+        return run_figure2(
+            frequencies_hz=[300.0, 650.0, 1000.0, 3000.0],
+            fio_runtime_s=0.3,
+            seed=42,
+        )
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    for sweep in result.sweeps.values():
+        points = _by_freq(sweep)
+        assert points[650.0].read_mbps < 2.0
+        assert points[3000.0].read_mbps > 17.0
+
+    # Band-edge shape on the full-grid result.
+    plastic = figure2_result.sweeps["Scenario 2"]
+    metal = figure2_result.sweeps["Scenario 3"]
+    for sweep in figure2_result.sweeps.values():
+        band = sweep.vulnerable_band(0.5, "write")
+        assert band is not None and band[0] <= 400.0  # ~300 Hz onset
+    assert metal.vulnerable_band(0.5, "write")[1] < plastic.vulnerable_band(0.5, "write")[1]
+    assert (
+        metal.vulnerable_band(0.5, "read")[1]
+        <= metal.vulnerable_band(0.5, "write")[1]
+    )

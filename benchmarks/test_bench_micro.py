@@ -1,0 +1,103 @@
+"""Microbenchmarks of the substrates (real wall-clock performance).
+
+Unlike the table/figure benches (which measure *virtual* outcomes),
+these measure how fast the simulator itself runs — useful to keep the
+reproduction usable as experiments grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdd.drive import HardDiskDrive
+from repro.rng import make_rng
+from repro.sim.clock import VirtualClock
+from repro.storage.block import BlockDevice
+from repro.storage.fs.filesystem import SimFS
+from repro.storage.kv.db import DB, Options
+from repro.workloads.fio import FioJob, FioTester, IOMode
+
+
+def fresh_drive(seed=1):
+    return HardDiskDrive(clock=VirtualClock(), rng=make_rng(seed))
+
+
+def test_drive_sequential_write_rate(benchmark):
+    """Raw simulated-drive op rate."""
+    drive = fresh_drive()
+
+    def run():
+        for i in range(2000):
+            drive.write((i % 10_000) * 8, 8)
+
+    benchmark(run)
+    assert drive.stats.writes >= 2000
+
+
+def test_fio_one_second_run(benchmark):
+    """One virtual second of FIO."""
+    def run():
+        drive = fresh_drive()
+        return FioTester(drive).run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=1.0))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.throughput_mbps == pytest.approx(22.7, abs=0.4)
+
+
+def test_filesystem_small_file_churn(benchmark):
+    """Create/write/read/unlink loops on the journaling filesystem."""
+    drive = fresh_drive()
+    fs = SimFS.mkfs(BlockDevice(drive))
+
+    counter = [0]
+
+    def churn():
+        for _ in range(50):
+            index = counter[0]
+            counter[0] += 1
+            path = f"/file-{index}"
+            fs.create(path)
+            fs.write_file(path, b"payload" * 64)
+            fs.read_file(path)
+            fs.unlink(path)
+
+    benchmark(churn)
+
+
+def test_kv_put_get_rate(benchmark):
+    """LSM store operation rate with flushes enabled."""
+    drive = fresh_drive()
+    fs = SimFS.mkfs(BlockDevice(drive))
+    fs.mkdir("/db")
+    db = DB.open(fs, "/db", options=Options(write_buffer_size=256 * 1024), rng=make_rng(3))
+
+    counter = [0]
+
+    def run():
+        base = counter[0]
+        counter[0] += 2000
+        for i in range(base, base + 2000):
+            db.put(f"key-{i:08d}".encode(), b"v" * 64)
+        for i in range(base, base + 2000, 4):
+            db.get(f"key-{i:08d}".encode())
+
+    benchmark(run)
+    assert db.stats.puts >= 2000
+
+
+def test_coupling_chain_evaluation_rate(benchmark):
+    """Full physics-chain evaluations per second (planner workload)."""
+    from repro.core.attacker import AttackConfig
+    from repro.core.coupling import AttackCoupling
+
+    coupling = AttackCoupling.paper_setup()
+
+    def run():
+        total = 0.0
+        for freq in range(100, 2100, 10):
+            config = AttackConfig(float(freq), 140.0, 0.01)
+            total += coupling.vibration_at_drive(config).displacement_m
+        return total
+
+    total = benchmark(run)
+    assert total > 0.0

@@ -1,0 +1,25 @@
+"""Threat-model objectives bench (Section 3's two attacker goals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.objectives import run_objective_comparison
+
+from conftest import save_result
+
+
+def test_objective_comparison(benchmark, results_dir):
+    """Intermittent tones delay; a sustained tone kills."""
+    baseline, degrade, crash, table = benchmark.pedantic(
+        lambda: run_objective_comparison(total_s=260.0, duty_cycle=0.3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert not baseline.crashed and not degrade.crashed
+    assert crash.crashed and "error -5" in crash.crash.error_output
+    assert degrade.work_rate_per_s < 0.85 * baseline.work_rate_per_s
+    assert degrade.completion_fraction > 0.99
+    benchmark.extra_info["baseline_rate"] = baseline.work_rate_per_s
+    benchmark.extra_info["degraded_rate"] = degrade.work_rate_per_s
+    save_result(results_dir, "objectives", table.render())

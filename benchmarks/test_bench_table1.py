@@ -1,0 +1,65 @@
+"""Table 1: FIO throughput and latency vs. speaker distance.
+
+Regenerates the table (Scenario 2, 650 Hz) and asserts the cliff: no
+response within 5 cm, write-dominant partial loss at 10-15 cm, recovery
+by 20-25 cm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1_PAPER
+from repro.experiments.table1 import run_table1
+
+from conftest import save_result
+
+
+def test_table1_range_profile(benchmark, results_dir):
+    """The full Table 1 regeneration."""
+    result = benchmark.pedantic(
+        lambda: run_table1(fio_runtime_s=1.0, seed=42), rounds=1, iterations=1
+    )
+    points = {round(p.distance_m * 100): p for p in result.range_test.points}
+
+    base = result.range_test.baseline
+    assert base.read.throughput_mbps == pytest.approx(18.0, abs=0.4)
+    assert base.write.throughput_mbps == pytest.approx(22.7, abs=0.4)
+
+    # 1-5 cm: total loss, no response (paper "-").
+    for cm in (1, 5):
+        assert not points[cm].read.responded
+        assert not points[cm].write.responded
+
+    # 10 cm: writes nearly dead, reads partially degraded.
+    assert points[10].write.throughput_mbps < 1.0
+    assert 8.0 < points[10].read.throughput_mbps < 17.0
+
+    # 15 cm: write-only loss.
+    assert points[15].write.throughput_mbps < 8.0
+    assert points[15].read.throughput_mbps > 16.0
+
+    # 20-25 cm: recovered.
+    for cm in (20, 25):
+        assert points[cm].write.throughput_mbps > 19.0
+        assert points[cm].read.throughput_mbps > 17.0
+
+    benchmark.extra_info["paper_rows"] = {
+        str(k): v for k, v in TABLE1_PAPER.items() if k is not None
+    }
+    save_result(results_dir, "table1", result.render())
+
+
+def test_table1_latency_shape(benchmark):
+    """Latency columns: "-" under stall, ~0.2 ms when healthy, inflated
+    in the partial regime (paper: 4.0 ms write at 15 cm)."""
+    result = benchmark.pedantic(
+        lambda: run_table1(distances_m=(0.01, 0.15, 0.25), fio_runtime_s=1.0, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    points = {round(p.distance_m * 100): p for p in result.range_test.points}
+    assert points[1].write.avg_latency_ms is None
+    assert points[15].write.avg_latency_ms > 0.5
+    assert points[25].write.avg_latency_ms == pytest.approx(0.2, abs=0.1)
+    assert points[25].read.avg_latency_ms == pytest.approx(0.2, abs=0.1)

@@ -1,0 +1,66 @@
+"""Table 2: RocksDB readwhilewriting vs. speaker distance.
+
+Regenerates the table (fresh drive + filesystem + LSM store per
+distance) and asserts the paper's shape: zero through 10 cm, partial at
+15 cm, recovered by 20-25 cm — note RocksDB's dead zone extends farther
+(10 cm) than raw FIO's because the write path stalls the pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_data import TABLE2_PAPER
+from repro.experiments.table2 import run_table2
+
+from conftest import save_result
+
+
+def test_table2_rocksdb_range_profile(benchmark, results_dir):
+    """The full Table 2 regeneration."""
+    result = benchmark.pedantic(
+        lambda: run_table2(duration_s=1.0, seed=42), rounds=1, iterations=1
+    )
+    by_cm = {round(d * 100): r for d, r in result.points}
+
+    # Baseline lands in the paper's regime (~1e5 ops/s, ~9 MB/s).
+    assert result.baseline.ops_per_second == pytest.approx(110_000, rel=0.25)
+    assert result.baseline.throughput_mbps == pytest.approx(8.7, rel=0.25)
+
+    # Dead through 10 cm (farther than FIO reads: the writer stalls all).
+    for cm in (1, 5, 10):
+        assert by_cm[cm].throughput_mbps < 0.5
+        assert by_cm[cm].ops_per_second < 0.05 * result.baseline.ops_per_second
+
+    # Partial at 15 cm.
+    partial = by_cm[15]
+    assert 0.1 * result.baseline.throughput_mbps < partial.throughput_mbps
+    assert partial.throughput_mbps < 0.9 * result.baseline.throughput_mbps
+
+    # Recovered by 20-25 cm.
+    for cm in (20, 25):
+        assert by_cm[cm].throughput_mbps == pytest.approx(
+            result.baseline.throughput_mbps, rel=0.12
+        )
+
+    benchmark.extra_info["paper_rows"] = {
+        str(k): v for k, v in TABLE2_PAPER.items() if k is not None
+    }
+    save_result(results_dir, "table2", result.render())
+
+
+def test_table2_dead_zone_wider_than_fio_reads(benchmark):
+    """Cross-check against Table 1: at 10 cm FIO reads still move data
+    (12.6 MB/s in the paper) while RocksDB serves nothing."""
+    from repro.experiments.table1 import run_table1
+
+    def both():
+        t1 = run_table1(distances_m=(0.10,), fio_runtime_s=1.0, seed=9)
+        t2 = run_table2(distances_m=(0.10,), duration_s=1.0, seed=9)
+        return t1, t2
+
+    table1, table2 = benchmark.pedantic(both, rounds=1, iterations=1)
+    fio_read = table1.range_test.points[0].read.throughput_mbps
+    rocks = table2.points[0][1].throughput_mbps
+    assert fio_read > 8.0
+    assert rocks < 0.5

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Defender's view: detect the attack and read the forensics.
+
+The paper's Section 5 calls for defenses; detection comes first.  This
+example runs the attack against an instrumented victim and shows what a
+defender sees: the hydrophone picking the tone out of Wenz-curve
+ambient noise, SMART telemetry growing a retry storm, and the fused
+detector raising an alarm with the attack frequency — plus how far away
+the attacker's own speaker is audible (they are not stealthy!).
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.acoustics.ambient import AmbientNoise
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.detector import (
+    AcousticAttackDetector,
+    HydrophoneMonitor,
+    ThroughputAnomalyDetector,
+)
+from repro.hdd.drive import HardDiskDrive
+from repro.hdd.smart import SmartLog
+from repro.workloads.fio import FioJob, FioTester, IOMode
+
+
+def main() -> None:
+    drive = HardDiskDrive()
+    fio = FioTester(drive)
+    coupling = AttackCoupling.paper_setup()
+
+    baseline = fio.run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=1.0)).throughput_mbps
+    print(f"baseline write throughput: {baseline:.1f} MB/s")
+
+    noise = AmbientNoise(shipping_level=0.4, wind_speed_ms=5.0)
+    hydrophone = HydrophoneMonitor(
+        ambient_level_db=noise.band_level_db(600.0, 700.0), margin_db=15.0
+    )
+    telemetry = ThroughputAnomalyDetector(drive, baseline_mbps=baseline)
+    detector = AcousticAttackDetector(hydrophone, telemetry)
+    smart = SmartLog(drive)
+
+    # The attacker turns their speaker on at 12 cm: heavy write loss.
+    config = AttackConfig(650.0, 140.0, 0.12)
+    coupling.apply(drive, config)
+    pressure = coupling.wall_pressure_pa(config)
+
+    print("\nattack on; defender monitoring...")
+    result = fio.run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=3.0))
+    now = drive.clock.now
+    for i in range(31):
+        hydrophone.observe_pressure(now - 3.0 + 0.1 * i, 650.0, pressure)
+    telemetry.report_throughput(result.throughput_mbps)
+    smart.sample()
+
+    print(f"  measured throughput: {result.throughput_mbps:.2f} MB/s")
+    print(f"  SMART: {smart.retry_rate_per_second():.0f} retries/s, "
+          f"fingerprint={'YES' if smart.vibration_fingerprint() else 'no'}")
+
+    alarm = detector.evaluate(now)
+    if alarm is not None:
+        print(f"  ALARM: {alarm}")
+    else:
+        print("  no alarm (detector missed it!)")
+
+    print("\nSMART report after the incident:")
+    for line in smart.report().splitlines():
+        print(f"  {line}")
+
+    print("\nhow far away is the attacker audible?")
+    for site_name, site in (("quiet site", AmbientNoise.quiet_site()),
+                            ("average", AmbientNoise()),
+                            ("busy harbor", AmbientNoise.harbor())):
+        reach = site.detection_range_m(140.0, 650.0)
+        print(f"  {site_name:<12} hydrophone hears the 140 dB tone out to ~{reach:7.1f} m "
+              f"(attack only works inside ~0.25 m)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Evaluate candidate defenses from the paper's Section 5.
+
+Tries acoustic absorbers, elastomer vibration isolators, and firmware
+servo hardening against the calibrated attack, reporting the insertion
+loss each provides, whether the attack still works through it, and the
+thermal price the defense charges a sealed subsea vessel.
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.defenses import (
+    AbsorbentCoating,
+    DefendedScenario,
+    FirmwareNotchFilter,
+    VibrationIsolators,
+)
+from repro.core.scenario import Scenario
+from repro.hdd.drive import HardDiskDrive
+from repro.workloads.fio import FioJob, FioTester, IOMode
+
+
+def residual_throughput(scenario, tone_hz: float = 650.0) -> float:
+    """Measured write throughput under attack with ``scenario`` installed."""
+    drive = HardDiskDrive()
+    defense = getattr(scenario, "defense", None)
+    if defense is not None:
+        # Firmware defenses change the drive itself, not the enclosure.
+        drive.profile.servo = defense.harden_servo(drive.profile.servo)
+    coupling = AttackCoupling.paper_setup(scenario)
+    coupling.apply(drive, AttackConfig(tone_hz, 140.0, 0.01))
+    result = FioTester(drive).run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=1.0))
+    return result.throughput_mbps
+
+
+def main() -> None:
+    base = Scenario.scenario_2()
+    baseline_drive = HardDiskDrive()
+    baseline = FioTester(baseline_drive).run(
+        FioJob(mode=IOMode.SEQ_WRITE, runtime_s=1.0)
+    ).throughput_mbps
+    print(f"healthy write throughput: {baseline:.1f} MB/s")
+    print(f"undefended, under attack: {residual_throughput(base):.1f} MB/s\n")
+
+    defenses = [
+        AbsorbentCoating(thickness_m=0.02),
+        AbsorbentCoating(thickness_m=0.05),
+        AbsorbentCoating(thickness_m=0.10),
+        VibrationIsolators(corner_hz=80.0),
+        VibrationIsolators(corner_hz=40.0),
+        FirmwareNotchFilter(corner_multiplier=1.8),
+        FirmwareNotchFilter(corner_multiplier=3.0),
+    ]
+    print(f"{'defense':<38} {'write MB/s under attack':>24} {'thermal cost':>14}")
+    for defense in defenses:
+        defended = DefendedScenario(base, defense)
+        throughput = residual_throughput(defended)
+        verdict = "attack defeated" if throughput > 0.9 * baseline else (
+            "attack weakened" if throughput > 1.0 else "attack still works")
+        print(
+            f"{defense.name:<38} {throughput:>12.1f}  ({verdict:<15}) "
+            f"{defense.thermal_penalty_c:>10.1f} C"
+        )
+
+    print(
+        "\nNote the trade-off the paper warns about: the absorbers that stop the"
+        "\nattack are exactly the ones that insulate the vessel and cost cooling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Open-water attack range planning (the paper's Section 5 questions).
+
+How far could the attack reach outside the lab tank?  This example uses
+the acoustics substrate directly: Medwin sound speed, Ainslie-McColm
+absorption, and spherical spreading, across real deployment sites — the
+fresh-water tank, the Baltic at 50 m (the paper's 0.038 dB/km example),
+and a Natick-like open-ocean site — for both the commercial speaker and
+a military-grade projector.
+
+Run:  python examples/range_planning.py
+"""
+
+from repro.acoustics.medium import WaterConditions
+from repro.acoustics.sound_speed import sound_speed_medwin
+from repro.core.attacker import AcousticAttacker, AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.environment import UnderwaterEnvironment
+from repro.core.scenario import Scenario
+from repro.hdd.profiles import BARRACUDA_500GB
+from repro.hdd.servo import OpKind
+
+
+def max_write_fault_range(environment, level_db: float, tone_hz: float = 650.0) -> float:
+    """Bisect the farthest distance where write faults are still induced."""
+    import math
+
+    coupling = AttackCoupling(
+        environment=environment,
+        scenario=Scenario.scenario_2(),
+        attacker=AcousticAttacker.military_rig(),
+    )
+    servo = BARRACUDA_500GB.servo
+
+    def ratio(distance: float) -> float:
+        vibration = coupling.vibration_at_drive(
+            AttackConfig(tone_hz, level_db, distance)
+        )
+        return servo.offtrack_amplitude_m(vibration) / servo.threshold_m(OpKind.WRITE)
+
+    if ratio(0.01) < 1.0:
+        return 0.0
+    low, high = 0.01, 1_000_000.0
+    if ratio(high) >= 1.0:
+        return high
+    for _ in range(200):
+        mid = math.sqrt(low * high)
+        if mid <= low or mid >= high:
+            break
+        if ratio(mid) >= 1.0:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def main() -> None:
+    sites = {
+        "lab tank (fresh water)": WaterConditions.tank(),
+        "Baltic Sea, 50 m": WaterConditions.baltic_50m(),
+        "Natick-like site, 36 m": WaterConditions.natick_site(),
+    }
+
+    print("== water conditions ==")
+    for name, cond in sites.items():
+        speed = sound_speed_medwin(cond.temperature_c, cond.salinity_ppt, cond.depth_m)
+        env = UnderwaterEnvironment.open_water(cond)
+        alpha = env.propagation.absorption_db_per_km(500.0)
+        print(f"{name:<26} c = {speed:7.1f} m/s   alpha(500 Hz) = {alpha:.4f} dB/km")
+
+    print("\n== maximum range for sustained write faults at 650 Hz ==")
+    print(f"{'site':<26} {'140 dB (commercial)':>22} {'200 dB':>12} {'220 dB (sonar-class)':>22}")
+    for name, cond in sites.items():
+        env = UnderwaterEnvironment.open_water(cond)
+        cells = []
+        for level in (140.0, 200.0, 220.0):
+            reach = max_write_fault_range(env, level)
+            cells.append(f"{reach:9.1f} m")
+        print(f"{name:<26} {cells[0]:>22} {cells[1]:>12} {cells[2]:>22}")
+
+    print(
+        "\nSpreading dominates at these frequencies (absorption is ~0.04 dB/km),"
+        "\nso every +20 dB of source level buys ~10x of range — the paper's"
+        "\nobservation that a powerful speaker changes the threat model entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

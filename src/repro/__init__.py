@@ -1,0 +1,51 @@
+"""Deep Note reproduction library.
+
+A physics-grounded simulation of the HotStorage '23 paper *Deep Note:
+Can Acoustic Interference Damage the Availability of Hard Disk Storage
+in Underwater Data Centers?* — underwater acoustics, enclosure
+vibration, an HDD servo/fault simulator, a storage software stack
+(journaling filesystem, server OS model, LSM key-value store), FIO and
+db_bench workload tools, and the attack toolkit that ties them together.
+
+Quickstart::
+
+    from repro import AttackConfig, AttackSession
+
+    session = AttackSession()                 # Scenario 2, tank water
+    sweep = session.frequency_sweep([300, 650, 1000, 2000, 8000])
+    for point in sweep.points:
+        print(point.frequency_hz, point.write_mbps, point.read_mbps)
+"""
+
+from .core.attack import AttackSession, FrequencySweepResult, RangeTestResult
+from .core.attacker import AcousticAttacker, AttackConfig
+from .core.coupling import AttackCoupling
+from .core.environment import UnderwaterEnvironment
+from .core.monitor import AvailabilityMonitor, CrashReport
+from .core.scenario import Scenario
+from .hdd.drive import HardDiskDrive
+from .hdd.servo import OpKind, VibrationInput
+from .workloads.fio import FioJob, FioResult, FioTester, IOMode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackSession",
+    "FrequencySweepResult",
+    "RangeTestResult",
+    "AcousticAttacker",
+    "AttackConfig",
+    "AttackCoupling",
+    "UnderwaterEnvironment",
+    "AvailabilityMonitor",
+    "CrashReport",
+    "Scenario",
+    "HardDiskDrive",
+    "OpKind",
+    "VibrationInput",
+    "FioJob",
+    "FioResult",
+    "FioTester",
+    "IOMode",
+    "__version__",
+]

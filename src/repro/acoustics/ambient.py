@@ -1,0 +1,136 @@
+"""Ambient ocean noise (Wenz curves).
+
+A real detector does not listen against silence: the sea has a
+frequency-dependent noise floor from shipping, wind/sea state, and
+thermal noise (Wenz 1962).  This module implements the standard
+parametric approximation of the Wenz curves as spectral levels
+(dB re 1 uPa^2/Hz) and integrates them into band levels, giving the
+defender's hydrophone a realistic floor and letting experiments compute
+the attacker's detectability (SNR) as a function of range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+
+__all__ = ["AmbientNoise"]
+
+
+@dataclass(frozen=True)
+class AmbientNoise:
+    """Parametric Wenz-curve ambient noise.
+
+    Attributes:
+        shipping_level: shipping activity index in [0, 1]
+            (0 = remote, 1 = heavy traffic lanes).
+        wind_speed_ms: surface wind speed (sea-state proxy), m/s.
+    """
+
+    shipping_level: float = 0.5
+    wind_speed_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.shipping_level <= 1.0:
+            raise UnitError(f"shipping level must be in [0, 1]: {self.shipping_level}")
+        if not 0.0 <= self.wind_speed_ms <= 40.0:
+            raise UnitError(f"wind speed out of range: {self.wind_speed_ms}")
+
+    # -- spectral components (dB re 1 uPa^2/Hz) ------------------------------------
+
+    def turbulence_psd_db(self, frequency_hz: float) -> float:
+        """Low-frequency ocean turbulence (dominant below ~10 Hz)."""
+        self._check(frequency_hz)
+        return 17.0 - 30.0 * math.log10(frequency_hz / 1.0 + 1e-12)
+
+    def shipping_psd_db(self, frequency_hz: float) -> float:
+        """Distant shipping (dominant ~10-300 Hz)."""
+        self._check(frequency_hz)
+        f_khz = frequency_hz / 1000.0
+        return (
+            40.0
+            + 20.0 * (self.shipping_level - 0.5)
+            + 26.0 * math.log10(f_khz + 1e-12)
+            - 60.0 * math.log10(f_khz + 0.03)
+        )
+
+    def wind_psd_db(self, frequency_hz: float) -> float:
+        """Wind/sea-surface agitation (dominant ~0.3-50 kHz)."""
+        self._check(frequency_hz)
+        f_khz = frequency_hz / 1000.0
+        return (
+            50.0
+            + 7.5 * math.sqrt(self.wind_speed_ms)
+            + 20.0 * math.log10(f_khz + 1e-12)
+            - 40.0 * math.log10(f_khz + 0.4)
+        )
+
+    def thermal_psd_db(self, frequency_hz: float) -> float:
+        """Molecular thermal noise (dominant above ~50 kHz)."""
+        self._check(frequency_hz)
+        f_khz = frequency_hz / 1000.0
+        return -15.0 + 20.0 * math.log10(f_khz + 1e-12)
+
+    @staticmethod
+    def _check(frequency_hz: float) -> None:
+        if frequency_hz <= 0.0:
+            raise UnitError(f"frequency must be positive: {frequency_hz}")
+
+    # -- combined ---------------------------------------------------------------------
+
+    def spectral_level_db(self, frequency_hz: float) -> float:
+        """Total noise PSD at ``frequency_hz`` (power sum of components)."""
+        components = (
+            self.turbulence_psd_db(frequency_hz),
+            self.shipping_psd_db(frequency_hz),
+            self.wind_psd_db(frequency_hz),
+            self.thermal_psd_db(frequency_hz),
+        )
+        power = sum(10.0 ** (level / 10.0) for level in components)
+        return 10.0 * math.log10(power)
+
+    def band_level_db(self, low_hz: float, high_hz: float, points: int = 64) -> float:
+        """Noise level integrated over [low, high] Hz (dB re 1 uPa)."""
+        if not 0.0 < low_hz < high_hz:
+            raise UnitError("need 0 < low < high")
+        log_low, log_high = math.log(low_hz), math.log(high_hz)
+        total = 0.0
+        for i in range(points):
+            f0 = math.exp(log_low + (log_high - log_low) * i / points)
+            f1 = math.exp(log_low + (log_high - log_low) * (i + 1) / points)
+            psd = 10.0 ** (self.spectral_level_db(math.sqrt(f0 * f1)) / 10.0)
+            total += psd * (f1 - f0)
+        return 10.0 * math.log10(total)
+
+    def detection_range_m(
+        self,
+        source_level_db: float,
+        frequency_hz: float,
+        detection_threshold_db: float = 10.0,
+        analysis_bandwidth_hz: float = 10.0,
+        reference_m: float = 0.01,
+    ) -> float:
+        """How far away a defender can *hear* the attack tone.
+
+        Narrowband detection: the tone is detectable while its received
+        level exceeds the ambient noise in the analysis band by the
+        detection threshold.  Spherical spreading only (conservative).
+        """
+        low = max(1.0, frequency_hz - analysis_bandwidth_hz / 2.0)
+        noise = self.band_level_db(low, frequency_hz + analysis_bandwidth_hz / 2.0)
+        margin_db = source_level_db - noise - detection_threshold_db
+        if margin_db <= 0.0:
+            return 0.0
+        return reference_m * 10.0 ** (margin_db / 20.0)
+
+    @staticmethod
+    def quiet_site() -> "AmbientNoise":
+        """Remote, calm site."""
+        return AmbientNoise(shipping_level=0.1, wind_speed_ms=2.0)
+
+    @staticmethod
+    def harbor() -> "AmbientNoise":
+        """Busy coastal waters."""
+        return AmbientNoise(shipping_level=0.9, wind_speed_ms=8.0)

@@ -1,0 +1,130 @@
+"""Speaker arrays: the "more sophisticated attacker" of Section 5.
+
+One commercial speaker tops out around 140 dB; the paper notes that a
+determined attacker can do better.  Besides buying a bigger projector,
+the standard engineering move is an *array*: N elements driven in phase
+add coherently on axis (+6 dB of source level per doubling) and form a
+beam whose width shrinks with the array's aperture — more level on the
+target, less spilled where hydrophones might listen.
+
+:class:`SpeakerArray` models a uniform line array of identical
+elements: combined on-axis source level, far-field directivity, and the
+resulting received level at an off-axis observer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError, UnitError
+
+from .source import UnderwaterSpeaker
+
+__all__ = ["SpeakerArray"]
+
+
+@dataclass
+class SpeakerArray:
+    """A uniform line array of identical transducers.
+
+    Attributes:
+        element: the individual speaker model.
+        count: number of elements (>= 1).
+        spacing_m: centre-to-centre element spacing.  Spacing above half
+            a wavelength produces grating lobes; :meth:`has_grating_lobes`
+            reports when that happens for a given tone.
+        sound_speed: propagation speed used for beam math.
+    """
+
+    element: UnderwaterSpeaker = field(default_factory=UnderwaterSpeaker)
+    count: int = 4
+    spacing_m: float = 0.5
+    sound_speed: float = 1485.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"element count must be >= 1: {self.count}")
+        if self.spacing_m <= 0.0:
+            raise UnitError(f"spacing must be positive: {self.spacing_m}")
+        if self.sound_speed <= 0.0:
+            raise UnitError(f"sound speed must be positive: {self.sound_speed}")
+
+    # -- level -----------------------------------------------------------------
+
+    def coherent_gain_db(self) -> float:
+        """On-axis gain over one element: 20 log10(N)."""
+        return 20.0 * math.log10(self.count)
+
+    def source_level_db(self, element_level_db: float) -> float:
+        """Combined on-axis source level given each element's level."""
+        return element_level_db + self.coherent_gain_db()
+
+    # -- geometry ----------------------------------------------------------------
+
+    @property
+    def aperture_m(self) -> float:
+        """Physical length of the array."""
+        return (self.count - 1) * self.spacing_m
+
+    def wavelength_m(self, frequency_hz: float) -> float:
+        """Wavelength at the operating tone."""
+        if frequency_hz <= 0.0:
+            raise UnitError(f"frequency must be positive: {frequency_hz}")
+        return self.sound_speed / frequency_hz
+
+    def has_grating_lobes(self, frequency_hz: float) -> bool:
+        """True when spacing exceeds half a wavelength."""
+        return self.spacing_m > self.wavelength_m(frequency_hz) / 2.0
+
+    # -- directivity --------------------------------------------------------------
+
+    def directivity(self, frequency_hz: float, angle_rad: float) -> float:
+        """Far-field array factor magnitude in [0, 1] at ``angle_rad``.
+
+        ``|sin(N psi / 2) / (N sin(psi / 2))|`` with
+        ``psi = 2 pi d sin(theta) / lambda``; 1.0 on axis.
+        """
+        if self.count == 1:
+            return 1.0
+        psi = (
+            2.0
+            * math.pi
+            * self.spacing_m
+            * math.sin(angle_rad)
+            / self.wavelength_m(frequency_hz)
+        )
+        if abs(psi) < 1e-12:
+            return 1.0
+        numerator = math.sin(self.count * psi / 2.0)
+        denominator = self.count * math.sin(psi / 2.0)
+        if abs(denominator) < 1e-12:
+            return 1.0  # grating-lobe direction: full coherence again
+        return abs(numerator / denominator)
+
+    def beamwidth_deg(self, frequency_hz: float) -> float:
+        """Full width of the main lobe between first nulls, degrees.
+
+        First null of a uniform array sits at
+        ``sin(theta) = lambda / (N d)``; 180 degrees when the array is
+        too small to form a null at this frequency.
+        """
+        if self.count == 1:
+            return 360.0
+        argument = self.wavelength_m(frequency_hz) / (self.count * self.spacing_m)
+        if argument >= 1.0:
+            return 360.0
+        return 2.0 * math.degrees(math.asin(argument))
+
+    def received_level_db(
+        self,
+        element_level_db: float,
+        frequency_hz: float,
+        angle_rad: float = 0.0,
+    ) -> float:
+        """Source level toward ``angle_rad`` (before propagation loss)."""
+        factor = self.directivity(frequency_hz, angle_rad)
+        if factor <= 0.0:
+            return -math.inf
+        return self.source_level_db(element_level_db) + 20.0 * math.log10(factor)

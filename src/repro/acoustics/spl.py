@@ -1,0 +1,79 @@
+"""Sound pressure level algebra.
+
+SPL is a ratio of a measured RMS pressure to a *reference* pressure, and
+the reference differs between media: 20 uPa in air, 1 uPa in water.  The
+paper's Section 2.2 uses exactly this to convert in-air attack levels to
+their underwater equivalents:
+
+    SPL_water = SPL_air + 20 * log10(20 uPa / 1 uPa) = SPL_air + 26 dB
+
+so the 140 dB (re 1 uPa) underwater source used in the case study carries
+the same pressure as a ~114 dB SPL source in air — comparable to the
+Blue Note in-air attack levels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import UnitError
+from repro.units import P_REF_AIR, P_REF_WATER
+
+__all__ = [
+    "pressure_to_spl",
+    "spl_to_pressure",
+    "spl_air_to_water",
+    "spl_water_to_air",
+    "spl_sum",
+    "AIR_WATER_REFERENCE_SHIFT_DB",
+]
+
+#: 20*log10(20 uPa / 1 uPa): the reference shift between air and water SPL.
+AIR_WATER_REFERENCE_SHIFT_DB = 20.0 * math.log10(P_REF_AIR / P_REF_WATER)
+
+
+def pressure_to_spl(pressure_pa: float, reference_pa: float = P_REF_WATER) -> float:
+    """Convert an RMS pressure in Pa to SPL in dB re ``reference_pa``."""
+    if pressure_pa <= 0.0:
+        raise UnitError(f"pressure must be positive: {pressure_pa}")
+    if reference_pa <= 0.0:
+        raise UnitError(f"reference pressure must be positive: {reference_pa}")
+    return 20.0 * math.log10(pressure_pa / reference_pa)
+
+
+def spl_to_pressure(spl_db: float, reference_pa: float = P_REF_WATER) -> float:
+    """Convert SPL in dB re ``reference_pa`` to RMS pressure in Pa."""
+    if reference_pa <= 0.0:
+        raise UnitError(f"reference pressure must be positive: {reference_pa}")
+    return reference_pa * 10.0 ** (spl_db / 20.0)
+
+
+def spl_air_to_water(spl_air_db: float) -> float:
+    """Re-reference an in-air SPL (re 20 uPa) to underwater SPL (re 1 uPa).
+
+    The physical pressure is unchanged; only the reference moves, adding
+    approximately 26 dB (the paper's Section 2.2 conversion).
+    """
+    return spl_air_db + AIR_WATER_REFERENCE_SHIFT_DB
+
+
+def spl_water_to_air(spl_water_db: float) -> float:
+    """Re-reference an underwater SPL (re 1 uPa) to in-air SPL (re 20 uPa)."""
+    return spl_water_db - AIR_WATER_REFERENCE_SHIFT_DB
+
+
+def spl_sum(levels_db: Iterable[float]) -> float:
+    """Energetically sum incoherent sources given in dB (same reference).
+
+    Two equal sources sum to +3 dB; an empty iterable is rejected because
+    "no sound" has no finite level.
+    """
+    total_power = 0.0
+    count = 0
+    for level in levels_db:
+        total_power += 10.0 ** (level / 10.0)
+        count += 1
+    if count == 0:
+        raise UnitError("cannot sum an empty set of levels")
+    return 10.0 * math.log10(total_power)

@@ -1,0 +1,70 @@
+"""Terminal line charts for the figure reproductions.
+
+``ascii_chart`` renders one or more (x, y) series as a character grid —
+enough to see the paper's Figure 2 shape (the throughput notch between
+300 Hz and ~1.7 kHz) directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_chart(
+    series: "Dict[str, Sequence[Tuple[float, float]]]",
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render series of (x, y) points as an ASCII chart.
+
+    Points are nearest-neighbour binned onto a ``width`` x ``height``
+    grid; each series gets its own marker, listed in the legend.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to be readable")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ConfigurationError("series are all empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines = []
+    top_label = f"{y_max:.1f} {y_label}"
+    lines.append(top_label)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{y_min:.1f}  {x_label}: {x_min:.0f} .. {x_max:.0f}    " + "   ".join(legend)
+    )
+    return "\n".join(lines)

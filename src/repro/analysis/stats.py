@@ -1,0 +1,55 @@
+"""Small statistics helpers used by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["mean", "percentile", "loss_fraction", "series_summary"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (rejects empty input)."""
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile, pct in [0, 100]."""
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ConfigurationError(f"percentile out of range: {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def loss_fraction(value: float, baseline: float) -> float:
+    """Throughput loss relative to baseline, clamped to [0, 1]."""
+    if baseline <= 0.0:
+        raise ConfigurationError(f"baseline must be positive: {baseline}")
+    return min(1.0, max(0.0, 1.0 - value / baseline))
+
+
+def series_summary(values: Sequence[float]) -> Dict[str, float]:
+    """min/mean/median/p95/max of a series."""
+    if not values:
+        raise ConfigurationError("summary of empty sequence")
+    return {
+        "min": min(values),
+        "mean": mean(values),
+        "median": percentile(values, 50.0),
+        "p95": percentile(values, 95.0),
+        "max": max(values),
+    }

@@ -1,0 +1,59 @@
+"""Plain-text tables matching the paper's reporting style."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table", "format_mbps", "format_latency_ms"]
+
+
+def format_mbps(value: float) -> str:
+    """Throughput cell: one decimal like the paper (0 stays bare)."""
+    if value == 0.0:
+        return "0"
+    return f"{value:.1f}"
+
+
+def format_latency_ms(value: Optional[float]) -> str:
+    """Latency cell: the paper renders no-response as "-"."""
+    if value is None:
+        return "-"
+    return f"{value:.1f}"
+
+
+class Table:
+    """A fixed-column ASCII table with a title row."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row (cells are str()-ed; count must match)."""
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The table as a string."""
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

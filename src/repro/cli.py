@@ -1,0 +1,262 @@
+"""The ``deepnote`` command-line interface.
+
+Subcommands map one-to-one onto the paper's experiments plus the
+ablations::
+
+    deepnote figure2   [--runtime S] [--seed N]
+    deepnote table1    [--runtime S] [--seed N]
+    deepnote table2    [--duration S] [--seed N]
+    deepnote table3    [--deadline S]
+    deepnote ablations [--which material|source|water|defense|drives|all]
+    deepnote predict   --frequency HZ --distance M [--level DB] [--scenario N]
+    deepnote rack      [--bays N] [--frequency HZ] [--distance M] [--metal]
+    deepnote smart     [--frequency HZ] [--distance M] [--runtime S]
+    deepnote report    [--output PATH] [--full] [--seed N]
+    deepnote all       (the four paper experiments, in order)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="deepnote",
+        description=(
+            "Deep Note reproduction: underwater acoustic attacks on HDD storage "
+            "(HotStorage '23), simulated end to end."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"deepnote {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = sub.add_parser("figure2", help="throughput vs frequency, Scenarios 1-3")
+    fig2.add_argument("--runtime", type=float, default=1.0, help="FIO seconds per point")
+    fig2.add_argument("--seed", type=int, default=None)
+
+    t1 = sub.add_parser("table1", help="FIO throughput/latency vs distance")
+    t1.add_argument("--runtime", type=float, default=2.0, help="FIO seconds per distance")
+    t1.add_argument("--seed", type=int, default=None)
+
+    t2 = sub.add_parser("table2", help="RocksDB readwhilewriting vs distance")
+    t2.add_argument("--duration", type=float, default=1.0, help="bench seconds per distance")
+    t2.add_argument("--seed", type=int, default=None)
+
+    t3 = sub.add_parser("table3", help="time-to-crash for Ext4 / Ubuntu / RocksDB")
+    t3.add_argument("--deadline", type=float, default=300.0, help="give up after this long")
+
+    abl = sub.add_parser("ablations", help="Section 5 design-space ablations")
+    abl.add_argument(
+        "--which",
+        choices=("material", "source", "water", "defense", "drives", "all"),
+        default="all",
+    )
+
+    pred = sub.add_parser("predict", help="predict attack effect without a workload")
+    pred.add_argument("--frequency", type=float, required=True, help="tone Hz")
+    pred.add_argument("--distance", type=float, required=True, help="speaker distance m")
+    pred.add_argument("--level", type=float, default=140.0, help="source dB re 1 uPa")
+    pred.add_argument("--scenario", type=int, choices=(1, 2, 3), default=2)
+
+    rack = sub.add_parser("rack", help="attack a multi-drive rack, per-bay report")
+    rack.add_argument("--bays", type=int, default=5)
+    rack.add_argument("--frequency", type=float, default=650.0)
+    rack.add_argument("--distance", type=float, default=0.01)
+    rack.add_argument("--metal", action="store_true", help="aluminum container")
+
+    smart = sub.add_parser("smart", help="SMART forensics of an attacked drive")
+    smart.add_argument("--frequency", type=float, default=650.0)
+    smart.add_argument("--distance", type=float, default=0.12)
+    smart.add_argument("--runtime", type=float, default=3.0)
+
+    report = sub.add_parser("report", help="write a full Markdown report")
+    report.add_argument("--output", default="results/REPORT.md")
+    report.add_argument("--full", action="store_true", help="full-fidelity run")
+    report.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("all", help="run every experiment in paper order")
+    return parser
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import run_figure2
+
+    print(run_figure2(fio_runtime_s=args.runtime, seed=args.seed).render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    print(run_table1(fio_runtime_s=args.runtime, seed=args.seed).render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import run_table2
+
+    print(run_table2(duration_s=args.duration, seed=args.seed).render())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import run_table3
+
+    print(run_table3(deadline_s=args.deadline).render())
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        run_defense_ablation,
+        run_drive_type_ablation,
+        run_material_ablation,
+        run_source_level_ablation,
+        run_water_conditions_ablation,
+    )
+
+    runs = {
+        "material": run_material_ablation,
+        "source": run_source_level_ablation,
+        "water": run_water_conditions_ablation,
+        "defense": run_defense_ablation,
+        "drives": run_drive_type_ablation,
+    }
+    names = list(runs) if args.which == "all" else [args.which]
+    for name in names:
+        print(runs[name]().render())
+        print()
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.attacker import AttackConfig
+    from repro.core.coupling import AttackCoupling
+    from repro.core.scenario import Scenario
+    from repro.hdd.profiles import BARRACUDA_500GB
+    from repro.hdd.servo import OpKind, VibrationInput
+
+    scenario = {
+        1: Scenario.scenario_1,
+        2: Scenario.scenario_2,
+        3: Scenario.scenario_3,
+    }[args.scenario]()
+    coupling = AttackCoupling.paper_setup(scenario)
+    config = AttackConfig(args.frequency, args.level, args.distance)
+    vibration = coupling.vibration_at_drive(config)
+    servo = BARRACUDA_500GB.servo
+    amplitude = servo.offtrack_amplitude_m(vibration)
+    print(f"scenario:          {scenario.name}")
+    print(f"tone:              {args.frequency:.0f} Hz at {args.level:.0f} dB re 1 uPa")
+    print(f"distance:          {args.distance * 100:.0f} cm")
+    print(f"chassis motion:    {vibration.displacement_m * 1e9:.1f} nm")
+    print(f"head excursion:    {amplitude * 1e9:.1f} nm")
+    print(f"write ratio:       {amplitude / servo.threshold_m(OpKind.WRITE):.2f} (>=1 faults)")
+    print(f"read ratio:        {amplitude / servo.threshold_m(OpKind.READ):.2f}")
+    print(f"stall ratio:       {amplitude / servo.servo_limit_m:.2f} (>=1 no response)")
+    print(f"p(write success):  {servo.success_probability(OpKind.WRITE, vibration):.3f}")
+    print(f"p(read success):   {servo.success_probability(OpKind.READ, vibration):.3f}")
+    return 0
+
+
+def _cmd_rack(args: argparse.Namespace) -> int:
+    from repro.core.attacker import AttackConfig
+    from repro.core.fleet import DriveRack
+
+    rack = DriveRack(bays=args.bays, metal=args.metal)
+    config = AttackConfig(args.frequency, 140.0, args.distance)
+    vibrations = rack.apply_attack(config)
+    probabilities = rack.write_success_probabilities()
+    print(
+        f"rack of {args.bays} bays, {'metal' if args.metal else 'plastic'} container, "
+        f"{args.frequency:.0f} Hz at {args.distance * 100:.0f} cm:"
+    )
+    print(f"{'bay':>4} {'chassis nm':>11} {'p(write)':>9}  state")
+    for bay in sorted(vibrations):
+        p = probabilities[bay]
+        state = "STALLED" if p == 0.0 else ("degraded" if p < 0.999 else "healthy")
+        print(
+            f"{bay:>4} {vibrations[bay].displacement_m * 1e9:>11.1f} {p:>9.3f}  {state}"
+        )
+    print(f"stalled bays: {rack.stalled_bays()}  healthy bays: {rack.healthy_bays()}")
+    return 0
+
+
+def _cmd_smart(args: argparse.Namespace) -> int:
+    from repro.core.attacker import AttackConfig
+    from repro.core.coupling import AttackCoupling
+    from repro.hdd.drive import HardDiskDrive
+    from repro.hdd.smart import SmartLog
+    from repro.workloads.fio import FioJob, FioTester, IOMode
+
+    drive = HardDiskDrive()
+    smart = SmartLog(drive)
+    coupling = AttackCoupling.paper_setup()
+    coupling.apply(drive, AttackConfig(args.frequency, 140.0, args.distance))
+    FioTester(drive).run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=args.runtime))
+    smart.sample()
+    print(smart.report())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.analysis.report import ReportOptions, build_report
+
+    text = build_report(ReportOptions(quick=not args.full, seed=args.seed))
+    path = pathlib.Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"report written to {path} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import run_figure2
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+    from repro.experiments.table3 import run_table3
+
+    print(run_figure2().render())
+    print()
+    print(run_table1().render())
+    print()
+    print(run_table2().render())
+    print()
+    print(run_table3().render())
+    return 0
+
+
+_COMMANDS = {
+    "figure2": _cmd_figure2,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "ablations": _cmd_ablations,
+    "predict": _cmd_predict,
+    "rack": _cmd_rack,
+    "smart": _cmd_smart,
+    "report": _cmd_report,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (console script ``deepnote``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

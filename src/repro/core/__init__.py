@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the underwater acoustic attack.
+
+This package composes the acoustics, vibration, and HDD substrates into
+the end-to-end attack of Section 3: an attacker with an underwater
+speaker targets a submerged enclosure holding a victim drive, sweeping
+frequency to find vulnerable bands, varying distance to map the
+effective range, and prolonging the tone to crash the software stack.
+"""
+
+from .calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from .environment import UnderwaterEnvironment
+from .scenario import Scenario
+from .coupling import AttackCoupling
+from .attacker import AcousticAttacker, AttackConfig
+from .attack import AttackSession, FrequencySweepResult, RangeTestResult
+from .monitor import AvailabilityMonitor, CrashReport
+from .defenses import (
+    AbsorbentCoating,
+    Defense,
+    FirmwareNotchFilter,
+    VibrationIsolators,
+    evaluate_defense,
+)
+from .detector import (
+    AcousticAttackDetector,
+    AttackAlarm,
+    HydrophoneMonitor,
+    ThroughputAnomalyDetector,
+)
+from .fleet import DriveRack, RackSlot
+from .campaign import CampaignPlan, CampaignPlanner, TonePlan
+
+__all__ = [
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "UnderwaterEnvironment",
+    "Scenario",
+    "AttackCoupling",
+    "AcousticAttacker",
+    "AttackConfig",
+    "AttackSession",
+    "FrequencySweepResult",
+    "RangeTestResult",
+    "AvailabilityMonitor",
+    "CrashReport",
+    "Defense",
+    "AbsorbentCoating",
+    "VibrationIsolators",
+    "FirmwareNotchFilter",
+    "evaluate_defense",
+    "AcousticAttackDetector",
+    "AttackAlarm",
+    "HydrophoneMonitor",
+    "ThroughputAnomalyDetector",
+    "DriveRack",
+    "RackSlot",
+    "CampaignPlan",
+    "CampaignPlanner",
+    "TonePlan",
+]

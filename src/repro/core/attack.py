@@ -1,0 +1,226 @@
+"""Attack sessions: the measurement campaigns of Section 4.
+
+An :class:`AttackSession` owns a fresh victim drive and a coupling
+chain, and runs the paper's campaigns:
+
+* :meth:`frequency_sweep` — Section 4.1 / Figure 2: hold the speaker at
+  1 cm, sweep the tone, measure FIO sequential read/write throughput at
+  each frequency.
+* :meth:`range_test` — Section 4.2 / Table 1: hold 650 Hz, step the
+  speaker away from the enclosure, measure throughput and latency.
+* :meth:`sustained_attack` — Section 4.4 precursor: apply one tone for
+  a fixed duration while a workload runs (crash campaigns build on this
+  via :mod:`repro.core.monitor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hdd.drive import HardDiskDrive
+from repro.hdd.profiles import make_barracuda_profile
+from repro.rng import ReproRandom, make_rng
+from repro.sim.clock import VirtualClock
+from repro.workloads.fio import FioJob, FioResult, FioTester, IOMode
+
+from .attacker import AttackConfig
+from .coupling import AttackCoupling
+from .scenario import Scenario
+
+__all__ = [
+    "SweepPoint",
+    "FrequencySweepResult",
+    "RangePoint",
+    "RangeTestResult",
+    "AttackSession",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Throughput measured at one attack frequency."""
+
+    frequency_hz: float
+    write_mbps: float
+    read_mbps: float
+
+
+@dataclass
+class FrequencySweepResult:
+    """Outcome of a Section 4.1-style frequency sweep for one scenario."""
+
+    scenario_name: str
+    baseline_write_mbps: float
+    baseline_read_mbps: float
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def vulnerable_band(self, loss_fraction: float = 0.5, op: str = "write") -> "tuple[float, float] | None":
+        """(low, high) frequency of the contiguous most-affected band.
+
+        A frequency belongs to the band when throughput drops below
+        ``(1 - loss_fraction)`` of baseline.  Returns None if no
+        frequency qualifies.
+        """
+        if not 0.0 < loss_fraction <= 1.0:
+            raise ConfigurationError("loss fraction must be in (0, 1]")
+        baseline = self.baseline_write_mbps if op == "write" else self.baseline_read_mbps
+        cutoff = (1.0 - loss_fraction) * baseline
+        hit = [
+            p.frequency_hz
+            for p in self.points
+            if (p.write_mbps if op == "write" else p.read_mbps) <= cutoff
+        ]
+        if not hit:
+            return None
+        return min(hit), max(hit)
+
+
+@dataclass(frozen=True)
+class RangePoint:
+    """FIO outcome at one speaker distance (a Table 1 row)."""
+
+    distance_m: float
+    read: FioResult
+    write: FioResult
+
+
+@dataclass
+class RangeTestResult:
+    """Outcome of a Section 4.2-style range test."""
+
+    scenario_name: str
+    frequency_hz: float
+    baseline: RangePoint
+    points: List[RangePoint] = field(default_factory=list)
+
+    def max_effective_distance_m(self, loss_fraction: float = 0.1) -> float:
+        """Largest distance with a measurable throughput loss.
+
+        "Measurable" means either read or write throughput at least
+        ``loss_fraction`` below its no-attack baseline.
+        """
+        best = 0.0
+        for point in self.points:
+            read_loss = 1.0 - _safe_ratio(
+                point.read.throughput_mbps, self.baseline.read.throughput_mbps
+            )
+            write_loss = 1.0 - _safe_ratio(
+                point.write.throughput_mbps, self.baseline.write.throughput_mbps
+            )
+            if max(read_loss, write_loss) >= loss_fraction:
+                best = max(best, point.distance_m)
+        return best
+
+
+def _safe_ratio(value: float, baseline: float) -> float:
+    return value / baseline if baseline > 0.0 else 1.0
+
+
+class AttackSession:
+    """A campaign against one scenario with a fresh victim drive."""
+
+    def __init__(
+        self,
+        coupling: Optional[AttackCoupling] = None,
+        seed: Optional[int] = None,
+        fio_runtime_s: float = 2.0,
+    ) -> None:
+        self.coupling = coupling if coupling is not None else AttackCoupling.paper_setup()
+        self.rng = make_rng(seed)
+        if fio_runtime_s <= 0.0:
+            raise ConfigurationError("FIO runtime must be positive")
+        self.fio_runtime_s = fio_runtime_s
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _fresh_rig(self, label: str) -> "tuple[HardDiskDrive, FioTester]":
+        """A new drive + tester so measurements don't share state."""
+        drive = HardDiskDrive(
+            profile=make_barracuda_profile(),
+            clock=VirtualClock(),
+            rng=self.rng.fork(label),
+            store_data=False,
+        )
+        return drive, FioTester(drive, rng=self.rng.fork(label + "/fio"))
+
+    def _measure(
+        self, drive: HardDiskDrive, tester: FioTester, mode: IOMode
+    ) -> FioResult:
+        job = FioJob(mode=mode, runtime_s=self.fio_runtime_s, name=mode.value)
+        return tester.run(job)
+
+    # -- campaigns ------------------------------------------------------------
+
+    def baseline(self) -> SweepPoint:
+        """No-attack throughput (the paper's "No Attack" rows)."""
+        drive, tester = self._fresh_rig("baseline")
+        write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+        read = self._measure(drive, tester, IOMode.SEQ_READ)
+        return SweepPoint(0.0, write.throughput_mbps, read.throughput_mbps)
+
+    def frequency_sweep(
+        self,
+        frequencies_hz: Iterable[float],
+        config: Optional[AttackConfig] = None,
+        progress: Optional[Callable[[float], None]] = None,
+    ) -> FrequencySweepResult:
+        """Sweep the attack tone and measure read/write throughput."""
+        base_config = config if config is not None else AttackConfig.paper_best()
+        base = self.baseline()
+        result = FrequencySweepResult(
+            scenario_name=self.coupling.scenario.name,
+            baseline_write_mbps=base.write_mbps,
+            baseline_read_mbps=base.read_mbps,
+        )
+        for frequency in frequencies_hz:
+            if progress is not None:
+                progress(frequency)
+            attack = base_config.at_frequency(frequency)
+            drive, tester = self._fresh_rig(f"sweep/{frequency:.1f}")
+            self.coupling.apply(drive, attack)
+            write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+            read = self._measure(drive, tester, IOMode.SEQ_READ)
+            result.points.append(
+                SweepPoint(frequency, write.throughput_mbps, read.throughput_mbps)
+            )
+        return result
+
+    def range_test(
+        self,
+        distances_m: Iterable[float],
+        config: Optional[AttackConfig] = None,
+    ) -> RangeTestResult:
+        """Step the speaker away from the enclosure at a fixed tone."""
+        base_config = config if config is not None else AttackConfig.paper_best()
+        drive, tester = self._fresh_rig("range/baseline")
+        baseline = RangePoint(
+            distance_m=0.0,
+            read=self._measure(drive, tester, IOMode.SEQ_READ),
+            write=self._measure(drive, tester, IOMode.SEQ_WRITE),
+        )
+        result = RangeTestResult(
+            scenario_name=self.coupling.scenario.name,
+            frequency_hz=base_config.frequency_hz,
+            baseline=baseline,
+        )
+        for distance in distances_m:
+            attack = base_config.at_distance(distance)
+            drive, tester = self._fresh_rig(f"range/{distance:.3f}")
+            self.coupling.apply(drive, attack)
+            read = self._measure(drive, tester, IOMode.SEQ_READ)
+            write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+            result.points.append(RangePoint(distance, read, write))
+        return result
+
+    def sustained_attack(
+        self, config: AttackConfig, duration_s: float, mode: IOMode = IOMode.SEQ_WRITE
+    ) -> FioResult:
+        """Apply one tone for ``duration_s`` while a workload runs."""
+        if duration_s <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        drive, tester = self._fresh_rig("sustained")
+        self.coupling.apply(drive, config)
+        job = FioJob(mode=mode, runtime_s=duration_s, name="sustained")
+        return tester.run(job)

@@ -1,0 +1,74 @@
+"""Calibration constants of the coupling model.
+
+The paper reports system-level observables (throughput vs. frequency
+and distance) but no structural transfer measurements, so the coupling
+chain has free constants.  They were fit once, with
+``tools/calibrate.py``, against four anchors from the paper:
+
+1. Table 1 distance profile at 650 Hz / Scenario 2: no response at
+   <= 5 cm, heavy write loss + mild read loss at 10 cm, write-only loss
+   at 15 cm, recovery by 20-25 cm.  This pins the absolute off-track
+   excursion at 650 Hz / 1 cm (~5x the servo stall limit) because
+   spherical spreading fixes the relative levels between distances.
+2. Figure 2 lower band edge ~300 Hz in all scenarios.  This pins the
+   servo rejection corner/order (see ServoSystem).
+3. Figure 2 upper band edges: plastic writes fail to ~1.7 kHz, metal
+   writes to ~1.3 kHz, metal reads to ~800 Hz.  These pin the HSA mode
+   rolloff and the metal enclosure's relative coupling.
+4. The quiescent FIO baselines (18.0 / 22.7 MB/s) pin the drive
+   profile's per-command overheads.
+
+Only the constants below were tuned; everything else in the chain is
+standard physics with textbook parameter values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CalibrationConstants", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """Tuned constants applied on top of the physical models.
+
+    Attributes:
+        structure_coupling: dimensionless gain from wall displacement to
+            enclosure-frame displacement.  Physically this absorbs
+            near-field radiation loading and box-corner stiffening that
+            the single-panel model underestimates.
+        metal_coupling_penalty: multiplier (<= 1) on the structural gain
+            of the aluminum container relative to plastic.
+        metal_rolloff_hz: first-order corner of the extra low-pass the
+            stiff aluminum wall applies to frame motion (a stiff panel
+            shunts high-frequency bending into the frame less
+            effectively).  This is what narrows Scenario 3's vulnerable
+            band at the top, the paper's "container material is a
+            critical factor" observation.
+        direct_mount_gain / tower_mount_gain: broadband gains of the two
+            mounting arrangements (the tower's sheet metal couples
+            slightly more strongly than direct floor contact).
+    """
+
+    structure_coupling: float = 40.0
+    metal_coupling_penalty: float = 0.90
+    metal_rolloff_hz: float = 700.0
+    direct_mount_gain: float = 1.0
+    tower_mount_gain: float = 1.06
+
+    def __post_init__(self) -> None:
+        if self.structure_coupling <= 0.0:
+            raise ConfigurationError("structure coupling must be positive")
+        if not 0.0 < self.metal_coupling_penalty <= 1.0:
+            raise ConfigurationError("metal penalty must be in (0, 1]")
+        if self.metal_rolloff_hz <= 0.0:
+            raise ConfigurationError("metal rolloff must be positive")
+        if self.direct_mount_gain <= 0.0 or self.tower_mount_gain <= 0.0:
+            raise ConfigurationError("mount gains must be positive")
+
+
+#: The constants shipped with the library (fit by tools/calibrate.py).
+DEFAULT_CALIBRATION = CalibrationConstants()

@@ -1,0 +1,217 @@
+"""Attack campaign planning.
+
+Ties the toolkit together from the adversary's seat, the way Section 3
+describes the attack actually being mounted:
+
+1. **Reconnaissance** — predict (or sweep for) the vulnerable band of a
+   target scenario;
+2. **Tone selection** — pick the frequency with the most margin over
+   the fault threshold at the achievable level and stand-off distance;
+3. **Scheduling** — choose between a throughput-degradation campaign
+   (intermittent tones, each shorter than the victim's crash horizon)
+   and a crash campaign (one sustained tone past it) — the paper's two
+   attacker objectives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hdd.profiles import BARRACUDA_500GB
+from repro.hdd.servo import OpKind
+
+from .attacker import AttackConfig
+from .coupling import AttackCoupling
+
+__all__ = ["TonePlan", "CampaignPlan", "CampaignPlanner"]
+
+
+@dataclass(frozen=True)
+class TonePlan:
+    """The chosen tone and its predicted effect."""
+
+    frequency_hz: float
+    write_ratio: float  # off-track amplitude / write threshold
+    read_ratio: float
+    stalls_servo: bool
+
+    @property
+    def effective(self) -> bool:
+        """True when the tone at least causes write faults."""
+        return self.write_ratio >= 1.0
+
+
+@dataclass
+class CampaignPlan:
+    """A schedule of attack on/off intervals."""
+
+    objective: str  # "degrade" or "crash"
+    config: AttackConfig
+    bursts: List[Tuple[float, float]] = field(default_factory=list)  # (start, stop)
+
+    @property
+    def total_on_time_s(self) -> float:
+        """Seconds of transmission across all bursts."""
+        return sum(stop - start for start, stop in self.bursts)
+
+    def active_at(self, t: float) -> bool:
+        """Is the speaker keyed at time ``t``?"""
+        return any(start <= t < stop for start, stop in self.bursts)
+
+
+class CampaignPlanner:
+    """Plans attacks against one coupling chain."""
+
+    def __init__(self, coupling: AttackCoupling, crash_horizon_s: float = 80.0) -> None:
+        if crash_horizon_s <= 0.0:
+            raise ConfigurationError("crash horizon must be positive")
+        self.coupling = coupling
+        self.crash_horizon_s = crash_horizon_s
+        self.servo = BARRACUDA_500GB.servo
+
+    # -- reconnaissance -----------------------------------------------------------
+
+    def predict_tone(self, config: AttackConfig) -> TonePlan:
+        """Predicted effect of one tone at one placement."""
+        vibration = self.coupling.vibration_at_drive(config)
+        amplitude = self.servo.offtrack_amplitude_m(vibration)
+        return TonePlan(
+            frequency_hz=config.frequency_hz,
+            write_ratio=amplitude / self.servo.threshold_m(OpKind.WRITE),
+            read_ratio=amplitude / self.servo.threshold_m(OpKind.READ),
+            stalls_servo=amplitude >= self.servo.servo_limit_m,
+        )
+
+    def best_tone(
+        self,
+        level_db: float = 140.0,
+        distance_m: float = 0.01,
+        frequencies_hz: Optional[Sequence[float]] = None,
+    ) -> TonePlan:
+        """Sweep candidate tones and return the strongest."""
+        grid = (
+            list(frequencies_hz)
+            if frequencies_hz is not None
+            else [float(f) for f in range(100, 4001, 50)]
+        )
+        best: Optional[TonePlan] = None
+        for frequency in grid:
+            plan = self.predict_tone(AttackConfig(frequency, level_db, distance_m))
+            if best is None or plan.write_ratio > best.write_ratio:
+                best = plan
+        assert best is not None  # grid is never empty
+        return best
+
+    def best_tone_config(
+        self, level_db: float = 140.0, distance_m: float = 0.01
+    ) -> AttackConfig:
+        """The best tone as a ready-to-use :class:`AttackConfig`."""
+        tone = self.best_tone(level_db, distance_m)
+        return AttackConfig(tone.frequency_hz, level_db, distance_m)
+
+    def vulnerable_band(
+        self, level_db: float = 140.0, distance_m: float = 0.01
+    ) -> Optional[Tuple[float, float]]:
+        """Predicted (low, high) of the write-fault band, or None."""
+        grid = [float(f) for f in range(100, 8001, 50)]
+        effective = [
+            f
+            for f in grid
+            if self.predict_tone(AttackConfig(f, level_db, distance_m)).effective
+        ]
+        if not effective:
+            return None
+        return min(effective), max(effective)
+
+    def max_stall_distance_m(
+        self, frequency_hz: float, level_db: float = 140.0, limit_m: float = 2.0
+    ) -> float:
+        """Farthest stand-off that still stalls the servo entirely."""
+        if not self.predict_tone(AttackConfig(frequency_hz, level_db, 0.01)).stalls_servo:
+            return 0.0
+        # Stay inside the environment (tank models bound the distance).
+        tank_length = getattr(self.coupling.environment.propagation, "tank_length_m", None)
+        if tank_length is not None:
+            limit_m = min(limit_m, tank_length)
+        low, high = 0.01, limit_m
+        if self.predict_tone(AttackConfig(frequency_hz, level_db, high)).stalls_servo:
+            return high
+        for _ in range(100):
+            mid = math.sqrt(low * high)
+            if self.predict_tone(AttackConfig(frequency_hz, level_db, mid)).stalls_servo:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    # -- scheduling -----------------------------------------------------------------
+
+    def plan_crash_campaign(
+        self,
+        level_db: float = 140.0,
+        distance_m: float = 0.01,
+        margin: float = 2.5,
+        start_delay_s: float = 0.0,
+    ) -> CampaignPlan:
+        """One sustained burst comfortably past the crash horizon.
+
+        The default margin is generous: the first blocked *data*
+        request absorbs up to a full block-layer timeout budget before
+        the journal's own commit even starts waiting, so the tone must
+        be held well past 2x the horizon to guarantee the kill.
+        """
+        if start_delay_s < 0.0:
+            raise ConfigurationError("start delay must be non-negative")
+        tone = self.best_tone(level_db, distance_m)
+        if not tone.stalls_servo:
+            raise ConfigurationError(
+                "no tone stalls the servo from this placement; move closer"
+            )
+        duration = margin * self.crash_horizon_s
+        return CampaignPlan(
+            objective="crash",
+            config=AttackConfig(tone.frequency_hz, level_db, distance_m),
+            bursts=[(start_delay_s, start_delay_s + duration)],
+        )
+
+    def plan_degradation_campaign(
+        self,
+        total_s: float,
+        duty_cycle: float = 0.3,
+        burst_s: float = 20.0,
+        level_db: float = 140.0,
+        distance_m: float = 0.01,
+        start_delay_s: float = 0.0,
+    ) -> CampaignPlan:
+        """Intermittent bursts that delay applications without crashes.
+
+        Each burst stays under the crash horizon (so journals time out
+        on nothing), and the duty cycle controls the imposed slowdown —
+        the paper's first attacker objective, "controlled throughput
+        loss ... to induce applications or process delays".
+        """
+        if not 0.0 < duty_cycle < 1.0:
+            raise ConfigurationError("duty cycle must be in (0, 1)")
+        if burst_s >= self.crash_horizon_s:
+            raise ConfigurationError(
+                f"bursts of {burst_s}s would cross the {self.crash_horizon_s}s "
+                f"crash horizon"
+            )
+        if start_delay_s < 0.0:
+            raise ConfigurationError("start delay must be non-negative")
+        tone = self.best_tone(level_db, distance_m)
+        period = burst_s / duty_cycle
+        bursts: List[Tuple[float, float]] = []
+        start = start_delay_s
+        total_s = total_s + start_delay_s
+        while start < total_s:
+            bursts.append((start, min(start + burst_s, total_s)))
+            start += period
+        return CampaignPlan(
+            objective="degrade",
+            config=AttackConfig(tone.frequency_hz, level_db, distance_m),
+            bursts=bursts,
+        )

@@ -1,0 +1,115 @@
+"""Multi-drive racks: the data-center-scale view of the attack.
+
+The case study attacks one drive; a real subsea vessel holds racks of
+them.  :class:`DriveRack` places several drives in the bays of one
+storage tower inside one enclosure and applies a single acoustic attack
+to all of them through their bay-specific coupling — the common-mode
+property that defeats RAID redundancy (see the RAID ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.environment import UnderwaterEnvironment
+from repro.core.scenario import Scenario
+from repro.errors import ConfigurationError
+from repro.hdd.drive import HardDiskDrive
+from repro.hdd.profiles import make_barracuda_profile
+from repro.hdd.servo import OpKind, VibrationInput
+from repro.rng import ReproRandom, make_rng
+from repro.sim.clock import VirtualClock
+from repro.vibration.mount import StorageTower
+
+__all__ = ["RackSlot", "DriveRack"]
+
+
+@dataclass
+class RackSlot:
+    """One bay of the rack: its drive and its coupling chain."""
+
+    bay: int
+    drive: HardDiskDrive
+    coupling: AttackCoupling
+
+
+class DriveRack:
+    """A tower of drives inside one submerged enclosure.
+
+    All drives share one virtual clock (a single host), and each bay
+    gets its own :class:`Scenario` differing only in the tower mount's
+    bay height — bays higher up the cantilever couple slightly more.
+    """
+
+    def __init__(
+        self,
+        bays: int = 5,
+        environment: Optional[UnderwaterEnvironment] = None,
+        clock: Optional[VirtualClock] = None,
+        rng: Optional[ReproRandom] = None,
+        metal: bool = False,
+    ) -> None:
+        if not 1 <= bays <= StorageTower.BAYS:
+            raise ConfigurationError(f"bays must be in [1, {StorageTower.BAYS}]: {bays}")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.rng = rng if rng is not None else make_rng().fork("rack")
+        env = environment if environment is not None else UnderwaterEnvironment.tank()
+        base = Scenario.scenario_3() if metal else Scenario.scenario_2()
+        self.slots: List[RackSlot] = []
+        for bay in range(bays):
+            scenario = Scenario(
+                name=f"{base.name} bay {bay}",
+                enclosure=base.enclosure,
+                mount=StorageTower(bay=bay),
+                hdd_offset_m=base.hdd_offset_m,
+                calibration=base.calibration,
+            )
+            drive = HardDiskDrive(
+                profile=make_barracuda_profile(),
+                clock=self.clock,
+                rng=self.rng.fork(f"bay{bay}"),
+            )
+            coupling = AttackCoupling(environment=env, scenario=scenario)
+            self.slots.append(RackSlot(bay=bay, drive=drive, coupling=coupling))
+
+    @property
+    def drives(self) -> List[HardDiskDrive]:
+        """The member drives, bottom bay first."""
+        return [slot.drive for slot in self.slots]
+
+    def apply_attack(self, config: Optional[AttackConfig]) -> Dict[int, VibrationInput]:
+        """Point one speaker at the enclosure; every bay feels it.
+
+        Returns the per-bay vibration for inspection.  ``None`` silences
+        the attack.
+        """
+        vibrations: Dict[int, VibrationInput] = {}
+        for slot in self.slots:
+            vibrations[slot.bay] = slot.coupling.apply(slot.drive, config)
+        return vibrations
+
+    def write_success_probabilities(self) -> Dict[int, float]:
+        """Per-bay p(write attempt succeeds) under the current attack."""
+        return {
+            slot.bay: slot.drive.success_probability(OpKind.WRITE)
+            for slot in self.slots
+        }
+
+    def stalled_bays(self) -> List[int]:
+        """Bays whose servo cannot track at all."""
+        return [
+            slot.bay
+            for slot in self.slots
+            if slot.drive.success_probability(OpKind.WRITE) == 0.0
+        ]
+
+    def healthy_bays(self) -> List[int]:
+        """Bays still serving writes at full probability."""
+        return [
+            slot.bay
+            for slot in self.slots
+            if slot.drive.success_probability(OpKind.WRITE) >= 0.999
+        ]

@@ -1,0 +1,170 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The hierarchy mirrors the layers of the simulated stack: physical layer
+errors (drive faults), block layer errors (timeouts, medium errors),
+filesystem errors (journal aborts), and application errors (WAL sync
+failure in the key-value store).  Error numbers follow the Linux errno
+convention where the paper reports one (JBD aborts with error ``-5``,
+i.e. ``-EIO``).
+"""
+
+from __future__ import annotations
+
+#: Linux errno values used by the simulated kernel and filesystem.
+EIO = 5
+ENOSPC = 28
+ENOENT = 2
+EEXIST = 17
+EROFS = 30
+ETIMEDOUT = 110
+EINVAL = 22
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was built or wired with invalid parameters."""
+
+
+class UnitError(ReproError, ValueError):
+    """A physical quantity was out of its meaningful domain."""
+
+
+# --------------------------------------------------------------------------
+# Physical / drive-level errors
+# --------------------------------------------------------------------------
+
+
+class DriveError(ReproError):
+    """Base class for errors raised by the HDD simulator."""
+
+
+class DriveFault(DriveError):
+    """A single I/O attempt failed (off-track fault, parked heads, ...).
+
+    Faults are retried by the drive controller; only persistent faults
+    escalate to :class:`MediumError` or :class:`DriveTimeout`.
+    """
+
+
+class MediumError(DriveError):
+    """An I/O failed permanently after the controller exhausted retries."""
+
+    errno = EIO
+
+
+class DriveTimeout(DriveError):
+    """An I/O did not complete within the host command timeout.
+
+    This corresponds to the "-" (no response) entries in Table 1 of the
+    paper: the drive never serviced the request at all.
+    """
+
+    errno = ETIMEDOUT
+
+
+# --------------------------------------------------------------------------
+# Block layer errors
+# --------------------------------------------------------------------------
+
+
+class BlockIOError(ReproError, OSError):
+    """Buffer I/O error surfaced by the simulated block layer.
+
+    The simulated kernel logs these to ``dmesg`` exactly like Linux logs
+    ``Buffer I/O error on dev sda`` lines during the real attack.
+    """
+
+    def __init__(self, message: str, errno: int = EIO) -> None:
+        super().__init__(errno, message)
+        self.errno = errno
+
+
+# --------------------------------------------------------------------------
+# Filesystem errors
+# --------------------------------------------------------------------------
+
+
+class FilesystemError(ReproError):
+    """Base class for simulated filesystem failures."""
+
+
+class JournalAbort(FilesystemError):
+    """The JBD-style journal aborted; the filesystem is now read-only.
+
+    The paper observes Ext4 terminating with a Journal Block Device error
+    in code ``-5``; :attr:`code` carries that signed errno.
+    """
+
+    def __init__(self, message: str, code: int = -EIO) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ReadOnlyFilesystem(FilesystemError):
+    """A write was attempted after the filesystem remounted read-only."""
+
+    errno = EROFS
+
+
+class FileNotFound(FilesystemError):
+    """Path lookup failed."""
+
+    errno = ENOENT
+
+
+class FileExists(FilesystemError):
+    """Exclusive create collided with an existing entry."""
+
+    errno = EEXIST
+
+
+class NoSpace(FilesystemError):
+    """The simulated volume ran out of blocks."""
+
+    errno = ENOSPC
+
+
+# --------------------------------------------------------------------------
+# OS-level errors
+# --------------------------------------------------------------------------
+
+
+class KernelPanic(ReproError):
+    """The simulated server OS became unusable (paper: Ubuntu crash)."""
+
+
+class ProcessCrashed(ReproError):
+    """A simulated process terminated with an error output."""
+
+    def __init__(self, message: str, exit_code: int = 1) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+# --------------------------------------------------------------------------
+# Key-value store errors
+# --------------------------------------------------------------------------
+
+
+class KVStoreError(ReproError):
+    """Base class for errors raised by the LSM key-value store."""
+
+
+class WALSyncError(KVStoreError):
+    """The write-ahead log could not be persisted.
+
+    This reproduces the ``sysc_without_flush_called`` failure signature
+    the paper reports for RocksDB: incoming key-value pairs written to
+    the WAL cannot be made durable, so the store must stop.
+    """
+
+
+class CorruptionError(KVStoreError):
+    """A checksum mismatch was detected in the WAL or an SSTable."""
+
+
+class DatabaseClosed(KVStoreError):
+    """An operation was issued against a closed or crashed store."""

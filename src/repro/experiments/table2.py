@@ -1,0 +1,98 @@
+"""Table 2: RocksDB throughput and I/O rate vs. speaker distance.
+
+Each distance gets a fresh stack — drive, block device, filesystem,
+key-value store — preloaded with db_bench's fillseq, then measured
+under ``readwhilewriting`` while the 650 Hz tone plays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import Table, format_mbps
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.scenario import Scenario
+from repro.hdd.drive import HardDiskDrive
+from repro.rng import make_rng
+from repro.storage.block import BlockDevice
+from repro.storage.fs.filesystem import SimFS
+from repro.storage.kv.db import DB, Options
+from repro.workloads.db_bench import DbBench, DbBenchConfig, DbBenchResult
+
+from .paper_data import ATTACK_LEVEL_DB, ATTACK_TONE_HZ, TABLE2_PAPER
+
+__all__ = ["Table2Result", "DEFAULT_DISTANCES_M", "run_table2"]
+
+DEFAULT_DISTANCES_M = (0.01, 0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+@dataclass
+class Table2Result:
+    """Baseline plus per-distance db_bench outcomes."""
+
+    baseline: DbBenchResult
+    points: List[Tuple[float, DbBenchResult]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The Table 2 layout with the paper's values alongside."""
+        table = Table(
+            "Table 2: RocksDB readwhilewriting under attack at varied distances "
+            f"({ATTACK_TONE_HZ:.0f} Hz, Scenario 2)",
+            ["Distance", "Throughput MB/s", "I/O rate ops/s", "paper MB/s / ops/s"],
+        )
+        paper_base = TABLE2_PAPER[None]
+        table.add_row(
+            "No Attack",
+            format_mbps(self.baseline.throughput_mbps),
+            f"{self.baseline.ops_per_second:,.0f}",
+            f"{paper_base[0]} / {paper_base[1]:,.0f}",
+        )
+        for distance_m, result in self.points:
+            cm = round(distance_m * 100)
+            paper = TABLE2_PAPER.get(cm)
+            table.add_row(
+                f"{cm} cm",
+                format_mbps(result.throughput_mbps),
+                f"{result.ops_per_second:,.0f}",
+                f"{paper[0]} / {paper[1]:,.0f}" if paper else "-",
+            )
+        return table.render()
+
+
+def _fresh_bench(seed: Optional[int], label: str, duration_s: float) -> Tuple[HardDiskDrive, DbBench]:
+    rng = make_rng(seed).fork(label)
+    drive = HardDiskDrive(rng=rng.fork("drive"))
+    device = BlockDevice(drive)
+    fs = SimFS.mkfs(device, commit_interval_s=3600.0)
+    fs.mkdir("/db")
+    db = DB.open(fs, "/db", options=Options(), rng=rng.fork("db"))
+    bench = DbBench(
+        db,
+        DbBenchConfig(num_preload=5_000, duration_s=duration_s, seed_label=label),
+        rng=rng.fork("bench"),
+    )
+    bench.fill_seq()
+    return drive, bench
+
+
+def run_table2(
+    distances_m: Sequence[float] = DEFAULT_DISTANCES_M,
+    duration_s: float = 1.0,
+    seed: Optional[int] = None,
+) -> Table2Result:
+    """Run the RocksDB range test of Section 4.3."""
+    coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+    drive, bench = _fresh_bench(seed, "table2/baseline", duration_s)
+    result = Table2Result(baseline=bench.read_while_writing())
+    for distance in distances_m:
+        drive, bench = _fresh_bench(seed, f"table2/{distance:.3f}", duration_s)
+        config = AttackConfig(
+            frequency_hz=ATTACK_TONE_HZ,
+            source_level_db=ATTACK_LEVEL_DB,
+            distance_m=distance,
+        )
+        coupling.apply(drive, config)
+        result.points.append((distance, bench.read_while_writing()))
+    return result

@@ -1,0 +1,37 @@
+"""Hard disk drive simulator.
+
+Models the victim drive of the case study (a 500 GB Seagate Barracuda
+class 3.5" desktop drive): platter geometry, spindle/seek mechanics, the
+servo loop with read/write off-track fault thresholds, the shock sensor
+(ultrasonic parking path from Blue Note), and a controller that retries
+faulted operations and times out when the servo cannot track at all —
+the "no response" entries of Table 1.
+"""
+
+from .geometry import DiskGeometry, Zone
+from .profiles import DriveProfile, BARRACUDA_500GB
+from .servo import ServoSystem, VibrationInput, OpKind
+from .shock import ShockSensor
+from .mechanics import SeekModel, SpindleMechanics
+from .controller import DriveController, IOResult, RetryPolicy
+from .drive import HardDiskDrive
+from .smart import SmartAttribute, SmartLog
+
+__all__ = [
+    "DiskGeometry",
+    "Zone",
+    "DriveProfile",
+    "BARRACUDA_500GB",
+    "ServoSystem",
+    "VibrationInput",
+    "OpKind",
+    "ShockSensor",
+    "SpindleMechanics",
+    "SeekModel",
+    "DriveController",
+    "RetryPolicy",
+    "IOResult",
+    "HardDiskDrive",
+    "SmartAttribute",
+    "SmartLog",
+]

@@ -1,0 +1,209 @@
+"""Drive controller: command execution, retries, and timeouts.
+
+The controller turns a logical I/O into timed media attempts against the
+servo fault model:
+
+* each command pays seek + firmware overhead + media transfer;
+* a faulted attempt (off-track) costs a missed-revolution penalty and is
+  retried, up to the retry budget — this is what melts throughput in the
+  partially-degraded regime of Table 1 (10-15 cm);
+* if the servo is stalled (excursion beyond the demodulation limit) or
+  the heads are parked, the command never completes and the host timeout
+  expires — the "-" (no response) regime at 1-5 cm;
+* a command that exhausts its retry budget returns a medium error, which
+  the OS block layer above may retry again before giving up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ConfigurationError, DriveTimeout, MediumError
+from repro.rng import ReproRandom
+from repro.sim.clock import VirtualClock
+
+from .profiles import DriveProfile
+from .servo import OpKind, VibrationInput
+
+__all__ = ["RetryPolicy", "IOResult", "DriveController"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How persistently the drive retries a faulted operation."""
+
+    max_attempts: int = 256
+    retry_penalty_fraction: float = 1.0  # a missed revolution per retry
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("need at least one attempt")
+        if self.retry_penalty_fraction <= 0.0:
+            raise ConfigurationError("retry penalty must be positive")
+
+
+@dataclass(frozen=True)
+class IOResult:
+    """Outcome of one completed drive command."""
+
+    op: OpKind
+    lba: int
+    sectors: int
+    latency_s: float
+    attempts: int
+    completed_at: float
+
+
+class DriveController:
+    """Executes commands for a drive, accounting time on a virtual clock."""
+
+    def __init__(
+        self,
+        profile: DriveProfile,
+        clock: VirtualClock,
+        rng: ReproRandom,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.profile = profile
+        self.clock = clock
+        self.rng = rng
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.current_track = 0
+        # Counters exposed through drive statistics.
+        self.commands = 0
+        self.retries = 0
+        self.medium_errors = 0
+        self.timeouts = 0
+
+    # -- service-time components --------------------------------------------
+
+    def _seek_component(self, target_track: int) -> float:
+        """Seek cost to reach ``target_track`` from the current position.
+
+        Single-track advances (sequential access) are treated as hidden
+        by the drive's look-ahead, matching the measured 4 KiB baseline.
+        """
+        distance = abs(target_track - self.current_track)
+        if distance <= 1:
+            return 0.0
+        return self.profile.seek.seek_time_s(distance)
+
+    def _base_service(self, op: OpKind, lba: int, nbytes: int) -> float:
+        """First-attempt service time (seek + overhead + transfer)."""
+        track, _ = self.profile.geometry.locate(lba)
+        seek = self._seek_component(track)
+        overhead = (
+            self.profile.write_overhead_s
+            if op is OpKind.WRITE
+            else self.profile.read_overhead_s
+        )
+        return seek + overhead + self.profile.transfer_time_s(nbytes)
+
+    @property
+    def _retry_penalty_s(self) -> float:
+        """Time lost to one faulted attempt (a partial revolution)."""
+        return (
+            self.profile.spindle.revolution_time_s
+            * self.retry_policy.retry_penalty_fraction
+        )
+
+    #: How often a stalled command re-samples the vibration state: real
+    #: drives retry servo acquisition continuously; a quarter second of
+    #: virtual time keeps time-varying attacks cheap to simulate.
+    STALL_POLL_S = 0.25
+
+    # -- command execution ---------------------------------------------------
+
+    def execute(
+        self,
+        op: OpKind,
+        lba: int,
+        sectors: int,
+        vibration: "VibrationInput | Callable[[], tuple]",
+        parked: bool = False,
+    ) -> IOResult:
+        """Run one command to completion, error, or timeout.
+
+        ``vibration`` is either a static :class:`VibrationInput` (with
+        ``parked`` alongside) or a zero-argument callable returning the
+        current ``(vibration, parked)`` pair — the latter lets a command
+        observe an attack that starts or stops mid-request, e.g. the
+        intermittent campaigns of the threat model.
+
+        Advances the virtual clock by however long the command took.
+        Raises :class:`DriveTimeout` in the no-response regime and
+        :class:`MediumError` when the retry budget is exhausted.
+        """
+        if sectors <= 0:
+            raise ConfigurationError(f"sector count must be positive: {sectors}")
+        self.commands += 1
+        nbytes = sectors * 512
+
+        if callable(vibration):
+            current_state = vibration
+        else:
+            static = (vibration, parked)
+            current_state = lambda: static  # noqa: E731 - tiny closure
+
+        start = self.clock.now
+        deadline = start + self.profile.host_timeout_s
+        budget = min(self.retry_policy.max_attempts, self.profile.max_attempts)
+        attempts = 0
+        first_attempt = True
+
+        while True:
+            now_vibration, now_parked = current_state()
+            success_p = (
+                0.0
+                if now_parked
+                else self.profile.servo.success_probability(op, now_vibration)
+            )
+            if success_p <= 0.0:
+                # Stalled servo or parked heads: wait for conditions to
+                # change, giving up at the host timeout.
+                if self.clock.now + self.STALL_POLL_S >= deadline:
+                    self.clock.advance_to(deadline)
+                    self.timeouts += 1
+                    raise DriveTimeout(
+                        f"{op.value} of {sectors} sectors at LBA {lba} got no "
+                        f"response within {self.profile.host_timeout_s:.0f}s"
+                    )
+                self.clock.advance(self.STALL_POLL_S)
+                continue
+
+            cost = (
+                self._base_service(op, lba, nbytes)
+                if first_attempt
+                else self._retry_penalty_s
+            )
+            if self.clock.now + cost > deadline:
+                self.clock.advance_to(deadline)
+                self.timeouts += 1
+                raise DriveTimeout(
+                    f"{op.value} at LBA {lba} retried past the host timeout"
+                )
+            self.clock.advance(cost)
+            attempts += 1
+            if not first_attempt:
+                self.retries += 1
+            first_attempt = False
+            if self.rng.chance(success_p):
+                break
+            if attempts >= budget:
+                self.medium_errors += 1
+                raise MediumError(
+                    f"{op.value} at LBA {lba} failed after {attempts} attempts "
+                    f"(off-track fault persisted)"
+                )
+
+        track, _ = self.profile.geometry.locate(lba + sectors - 1)
+        self.current_track = track
+        return IOResult(
+            op=op,
+            lba=lba,
+            sectors=sectors,
+            latency_s=self.clock.now - start,
+            attempts=attempts,
+            completed_at=self.clock.now,
+        )

@@ -1,0 +1,220 @@
+"""The hard disk drive: the victim device of the case study.
+
+:class:`HardDiskDrive` ties together the geometry, mechanics, servo
+fault model, shock sensor, and controller, and exposes a sector-level
+read/write API on a virtual clock.  The attack toolkit injects a
+:class:`~repro.hdd.servo.VibrationInput` via :meth:`set_vibration`; all
+subsequent I/O is served under that vibration until it changes.
+
+Data written with payloads is retained so the filesystem and key-value
+store above observe real persistence semantics; payload-less writes
+(synthetic benchmark traffic) only account time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, UnitError
+from repro.rng import ReproRandom, make_rng
+from repro.sim.clock import VirtualClock
+from repro.units import SECTOR_SIZE
+
+from .controller import DriveController, IOResult, RetryPolicy
+from .profiles import DriveProfile, make_barracuda_profile
+from .servo import OpKind, VibrationInput
+
+__all__ = ["DriveStats", "HardDiskDrive"]
+
+
+@dataclass
+class DriveStats:
+    """Aggregate counters for one drive."""
+
+    reads: int = 0
+    writes: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    retries: int = 0
+    medium_errors: int = 0
+    timeouts: int = 0
+    shock_parks: int = 0
+
+
+class HardDiskDrive:
+    """A simulated HDD serving sector I/O under acoustic vibration."""
+
+    def __init__(
+        self,
+        profile: Optional[DriveProfile] = None,
+        clock: Optional[VirtualClock] = None,
+        rng: Optional[ReproRandom] = None,
+        store_data: bool = True,
+    ) -> None:
+        self.profile = profile if profile is not None else make_barracuda_profile()
+        self.clock = clock if clock is not None else VirtualClock()
+        root_rng = rng if rng is not None else make_rng()
+        self.controller = DriveController(
+            self.profile, self.clock, root_rng.fork("controller")
+        )
+        self.store_data = store_data
+        self.vibration = VibrationInput.none()
+        self.parked = False
+        self.stats = DriveStats()
+        self._sectors: Dict[int, bytes] = {}
+        self._schedule: Optional[Callable[[float], Optional[VibrationInput]]] = None
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def total_sectors(self) -> int:
+        """Addressable 512-byte sectors."""
+        return self.profile.geometry.total_sectors
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable capacity in bytes."""
+        return self.profile.geometry.capacity_bytes
+
+    def _check_range(self, lba: int, sectors: int) -> None:
+        if sectors <= 0:
+            raise ConfigurationError(f"sector count must be positive: {sectors}")
+        if lba < 0 or lba + sectors > self.total_sectors:
+            raise UnitError(
+                f"I/O [{lba}, {lba + sectors}) outside drive of "
+                f"{self.total_sectors} sectors"
+            )
+
+    # -- vibration injection ----------------------------------------------------
+
+    def set_vibration(self, vibration: Optional[VibrationInput]) -> None:
+        """Apply (or clear, with None) a static chassis vibration.
+
+        Also evaluates the shock sensor: an ultrasonic trigger parks the
+        heads, which stalls all I/O exactly like a servo stall.  Clears
+        any vibration schedule previously installed.
+        """
+        self._schedule = None
+        self.vibration = vibration if vibration is not None else VibrationInput.none()
+        was_parked = self.parked
+        self.parked = self.profile.shock_sensor.is_triggered(self.vibration)
+        if self.parked and not was_parked:
+            self.stats.shock_parks += 1
+
+    def set_vibration_schedule(
+        self, schedule: Optional[Callable[[float], Optional[VibrationInput]]]
+    ) -> None:
+        """Install a time-varying vibration: ``schedule(t) -> vibration``.
+
+        The controller re-samples the schedule while a command is in
+        flight, so an attack that stops mid-request lets the pending
+        retries complete — the behaviour intermittent attack campaigns
+        rely on.  ``None`` entries (and a None schedule) mean silence.
+        """
+        self._schedule = schedule
+        self._refresh_from_schedule()
+
+    def _refresh_from_schedule(self) -> "Tuple[VibrationInput, bool]":
+        if self._schedule is not None:
+            vibration = self._schedule(self.clock.now)
+            self.vibration = (
+                vibration if vibration is not None else VibrationInput.none()
+            )
+            was_parked = self.parked
+            self.parked = self.profile.shock_sensor.is_triggered(self.vibration)
+            if self.parked and not was_parked:
+                self.stats.shock_parks += 1
+        return self.vibration, self.parked
+
+    def _current_state(self) -> "Tuple[VibrationInput, bool]":
+        """(vibration, parked) at the current virtual time."""
+        return self._refresh_from_schedule()
+
+    def offtrack_ratio(self, op: OpKind = OpKind.WRITE) -> float:
+        """Current head excursion as a multiple of the op's threshold."""
+        amplitude = self.profile.servo.offtrack_amplitude_m(self.vibration)
+        return amplitude / self.profile.servo.threshold_m(op)
+
+    def success_probability(self, op: OpKind) -> float:
+        """Per-attempt media success probability under current vibration."""
+        if self.parked:
+            return 0.0
+        return self.profile.servo.success_probability(op, self.vibration)
+
+    # -- I/O API -----------------------------------------------------------------
+
+    def read(self, lba: int, sectors: int) -> Tuple[IOResult, bytes]:
+        """Read ``sectors`` sectors starting at ``lba``.
+
+        Returns the timing result and the data (zero-filled where never
+        written).  Raises DriveTimeout/MediumError under attack.
+        """
+        self._check_range(lba, sectors)
+        try:
+            result = self.controller.execute(
+                OpKind.READ, lba, sectors, self._current_state
+            )
+        finally:
+            self._sync_counters()
+        self.stats.reads += 1
+        self.stats.sectors_read += sectors
+        self._sync_counters()
+        if not self.store_data:
+            return result, b"\x00" * (sectors * SECTOR_SIZE)
+        chunks = [
+            self._sectors.get(sector, b"\x00" * SECTOR_SIZE)
+            for sector in range(lba, lba + sectors)
+        ]
+        return result, b"".join(chunks)
+
+    def write(self, lba: int, sectors: int, data: Optional[bytes] = None) -> IOResult:
+        """Write ``sectors`` sectors starting at ``lba``.
+
+        ``data``, when given, must be exactly ``sectors * 512`` bytes and
+        is retained for later reads.
+        """
+        self._check_range(lba, sectors)
+        if data is not None and len(data) != sectors * SECTOR_SIZE:
+            raise ConfigurationError(
+                f"payload of {len(data)} bytes does not match "
+                f"{sectors} sectors ({sectors * SECTOR_SIZE} bytes)"
+            )
+        try:
+            result = self.controller.execute(
+                OpKind.WRITE, lba, sectors, self._current_state
+            )
+        finally:
+            self._sync_counters()
+        self.stats.writes += 1
+        self.stats.sectors_written += sectors
+        self._sync_counters()
+        if self.store_data and data is not None:
+            for index in range(sectors):
+                start = index * SECTOR_SIZE
+                self._sectors[lba + index] = data[start : start + SECTOR_SIZE]
+        return result
+
+    def flush(self) -> None:
+        """Flush the (implicit) write cache.
+
+        The simulator accounts write time at submission, so flush only
+        has to verify the drive is still responsive; a stalled drive
+        makes flush block and time out like any command, which matters
+        to the journaling filesystem and the WAL.
+        """
+        self._refresh_from_schedule()
+        if self.parked or self.success_probability(OpKind.WRITE) <= 0.0:
+            self.controller.execute(OpKind.WRITE, 0, 1, self._current_state)
+
+    def _sync_counters(self) -> None:
+        self.stats.retries = self.controller.retries
+        self.stats.medium_errors = self.controller.medium_errors
+        self.stats.timeouts = self.controller.timeouts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HardDiskDrive({self.profile.name!r}, "
+            f"vibration={self.vibration.frequency_hz:.0f}Hz/"
+            f"{self.vibration.displacement_m:.2e}m, parked={self.parked})"
+        )

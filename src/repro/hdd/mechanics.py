@@ -1,0 +1,89 @@
+"""Spindle and actuator mechanics: rotation, seeks, settle.
+
+Service times in the drive simulator come from these models plus the
+per-command firmware overheads of the :class:`~repro.hdd.profiles.
+DriveProfile`.  Faulted operations pay a missed-revolution penalty set
+by the spindle period — the dominant cost that collapses throughput
+under vibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+from repro.units import rpm_to_rev_time
+
+__all__ = ["SpindleMechanics", "SeekModel"]
+
+
+@dataclass(frozen=True)
+class SpindleMechanics:
+    """The spindle motor rotating the platter stack."""
+
+    rpm: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if self.rpm <= 0.0:
+            raise UnitError(f"spindle speed must be positive: {self.rpm}")
+
+    @property
+    def revolution_time_s(self) -> float:
+        """One full rotation, seconds (8.33 ms at 7200 rpm)."""
+        return rpm_to_rev_time(self.rpm)
+
+    @property
+    def average_rotational_latency_s(self) -> float:
+        """Expected wait for a random target sector: half a revolution."""
+        return self.revolution_time_s / 2.0
+
+    def sector_time_s(self, sectors_per_track: int) -> float:
+        """Time for one sector to pass under the head."""
+        if sectors_per_track <= 0:
+            raise UnitError(f"sectors per track must be positive: {sectors_per_track}")
+        return self.revolution_time_s / sectors_per_track
+
+
+@dataclass(frozen=True)
+class SeekModel:
+    """Actuator seek time as a function of seek distance in tracks.
+
+    Uses the standard square-root + linear fit: short seeks are
+    acceleration-limited (``~ sqrt(d)``), long seeks are velocity-limited
+    (``~ d``), with a fixed settle time on top.
+    """
+
+    track_to_track_s: float = 0.8e-3
+    full_stroke_s: float = 18.0e-3
+    settle_s: float = 1.2e-3
+    total_tracks: int = 608_000
+
+    def __post_init__(self) -> None:
+        if self.track_to_track_s <= 0.0 or self.full_stroke_s <= self.track_to_track_s:
+            raise UnitError("need 0 < track_to_track < full_stroke seek times")
+        if self.settle_s < 0.0:
+            raise UnitError(f"settle time must be non-negative: {self.settle_s}")
+        if self.total_tracks <= 1:
+            raise UnitError(f"total tracks must exceed 1: {self.total_tracks}")
+
+    def seek_time_s(self, distance_tracks: int) -> float:
+        """Seek time for a move of ``distance_tracks`` tracks.
+
+        Zero distance costs nothing (the head is already on-cylinder).
+        """
+        if distance_tracks < 0:
+            raise UnitError(f"seek distance must be non-negative: {distance_tracks}")
+        if distance_tracks == 0:
+            return 0.0
+        frac = min(distance_tracks / (self.total_tracks - 1), 1.0)
+        # Blend sqrt (dominates short) and linear (dominates long) terms.
+        sqrt_term = math.sqrt(frac)
+        span = self.full_stroke_s - self.track_to_track_s
+        move = self.track_to_track_s + span * (0.6 * sqrt_term + 0.4 * frac)
+        return move + self.settle_s
+
+    @property
+    def average_seek_s(self) -> float:
+        """Seek time averaged over uniformly random track pairs (~1/3 stroke)."""
+        return self.seek_time_s(max(1, self.total_tracks // 3))

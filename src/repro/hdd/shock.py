@@ -1,0 +1,67 @@
+"""Shock sensor model.
+
+Bolton et al. showed a second attack path besides off-track vibration:
+*ultrasonic* tones fool the drive's shock sensor (a MEMS accelerometer)
+into detecting a physical drop, and the firmware parks the heads
+defensively.  The paper's underwater sweep stops at 16.9 kHz — below the
+sensor's resonance — so this path is quiet in the case study, but the
+simulator implements it so ablations can explore ultrasonic underwater
+attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnitError
+from repro.hdd.servo import VibrationInput
+
+__all__ = ["ShockSensor"]
+
+
+@dataclass
+class ShockSensor:
+    """A MEMS shock sensor with an ultrasonic false-trigger resonance.
+
+    Attributes:
+        trigger_acceleration_ms2: acceleration that fires the sensor
+            (real drives spec tens of g while operating).
+        resonance_hz: MEMS proof-mass resonance; tones near it are
+            amplified and can false-trigger at modest amplitude.
+        resonance_q: quality factor of the resonance.
+        park_duration_s: how long the firmware keeps heads parked after a
+            trigger before retrying.
+    """
+
+    trigger_acceleration_ms2: float = 300.0  # ~30 g
+    resonance_hz: float = 28_000.0
+    resonance_q: float = 12.0
+    park_duration_s: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.trigger_acceleration_ms2 <= 0.0:
+            raise UnitError("trigger acceleration must be positive")
+        if self.resonance_hz <= 0.0 or self.resonance_q <= 0.0:
+            raise UnitError("resonance parameters must be positive")
+        if self.park_duration_s <= 0.0:
+            raise UnitError("park duration must be positive")
+
+    def sensed_acceleration_ms2(self, vibration: VibrationInput) -> float:
+        """Acceleration amplitude the sensor *perceives*.
+
+        True acceleration of a displacement sinusoid is ``(2 pi f)^2 x``;
+        near the MEMS resonance the proof mass over-reads by up to Q.
+        """
+        if vibration.displacement_m == 0.0:
+            return 0.0
+        omega = 2.0 * 3.141592653589793 * vibration.frequency_hz
+        true_accel = omega * omega * vibration.displacement_m
+        r = vibration.frequency_hz / self.resonance_hz
+        # SDOF magnification of the proof mass, peaking at ~Q on resonance.
+        denom = ((1.0 - r * r) ** 2 + (r / self.resonance_q) ** 2) ** 0.5
+        magnification = min(1.0 / max(denom, 1e-9), self.resonance_q)
+        return true_accel * magnification
+
+    def is_triggered(self, vibration: VibrationInput) -> bool:
+        """True when the vibration would fire the shock sensor."""
+        return self.sensed_acceleration_ms2(vibration) >= self.trigger_acceleration_ms2

@@ -1,0 +1,6 @@
+"""Deterministic simulation substrate: virtual clock and event queue."""
+
+from .clock import VirtualClock
+from .events import Event, EventQueue, Simulator
+
+__all__ = ["VirtualClock", "Event", "EventQueue", "Simulator"]

@@ -1,0 +1,144 @@
+"""A small discrete-event simulator.
+
+Most of the reproduction advances time synchronously through
+:class:`repro.sim.clock.VirtualClock`, but periodic activity — journal
+commit timers, background compaction, attack schedule changes, watchdog
+monitors — is expressed as events on an :class:`EventQueue` driven by a
+:class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+from .clock import VirtualClock
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator skips it when it fires."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects keyed by firing time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, when: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute time ``when``."""
+        event = Event(when=when, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the earliest live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].when if self._heap else None
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` against a :class:`VirtualClock`."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.queue = EventQueue()
+        self.fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ConfigurationError(f"cannot schedule in the past: {delay}")
+        return self.queue.push(self.clock.now + delay, action, label=label)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        label: str = "",
+        until: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``action`` periodically; returns the first event.
+
+        Cancelling the returned event only cancels the next firing; use
+        ``until`` to bound a periodic chain, or raise StopIteration from
+        ``action`` to end it.
+        """
+        if interval <= 0.0:
+            raise ConfigurationError(f"interval must be positive: {interval}")
+
+        def fire_and_reschedule() -> None:
+            try:
+                action()
+            except StopIteration:
+                return
+            next_time = self.clock.now + interval
+            if until is None or next_time <= until:
+                self.queue.push(next_time, fire_and_reschedule, label=label)
+
+        return self.schedule(interval, fire_and_reschedule, label=label)
+
+    def step(self) -> bool:
+        """Fire the earliest event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.when)
+        event.action()
+        self.fired += 1
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Fire every event scheduled at or before ``deadline``.
+
+        The clock always lands exactly on ``deadline`` so that callers can
+        interleave synchronous work with event processing.
+        """
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+        self.clock.advance_to(deadline)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely; returns the number of events fired."""
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        return fired

@@ -1,0 +1,197 @@
+"""Write-back caching in front of the block device.
+
+Real servers rarely write synchronously to platters: the drive's DRAM
+cache and the OS page cache absorb bursts and destage lazily.  That
+matters to the attack story in both directions:
+
+* it *hides* the attack briefly — writes keep "succeeding" into the
+  cache while the platter is unreachable, until the dirty watermark is
+  hit and the writer finally blocks;
+* it *raises the stakes* — a crash while the cache is dirty loses data
+  that the application believed written (unless it called flush).
+
+:class:`WriteBackCache` wraps a :class:`~repro.storage.block.
+BlockDevice` with an LRU dirty cache, background destaging on a dirty
+watermark, explicit flush barriers, and loss accounting for the
+post-mortem.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import BlockIOError, ConfigurationError
+from repro.storage.block import BlockDevice
+
+__all__ = ["CacheStats", "WriteBackCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/destage accounting."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_absorbs: int = 0
+    destaged_blocks: int = 0
+    destage_failures: int = 0
+
+
+class WriteBackCache:
+    """An LRU write-back cache over a block device.
+
+    Attributes:
+        inner: the backing device.
+        capacity_blocks: total cached blocks (clean + dirty).
+        dirty_high_watermark: fraction of capacity that may be dirty
+            before a write blocks on destaging (like vm.dirty_ratio).
+        write_latency_s: virtual cost of a cache-absorbed write (DRAM
+            speed, effectively free next to media time).
+    """
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        capacity_blocks: int = 4096,
+        dirty_high_watermark: float = 0.5,
+        write_latency_s: float = 2.0e-6,
+    ) -> None:
+        if capacity_blocks < 8:
+            raise ConfigurationError(f"capacity too small: {capacity_blocks}")
+        if not 0.0 < dirty_high_watermark <= 1.0:
+            raise ConfigurationError(
+                f"watermark must be in (0, 1]: {dirty_high_watermark}"
+            )
+        if write_latency_s < 0.0:
+            raise ConfigurationError("write latency must be non-negative")
+        self.inner = inner
+        self.capacity_blocks = capacity_blocks
+        self.dirty_high_watermark = dirty_high_watermark
+        self.write_latency_s = write_latency_s
+        self.stats = CacheStats()
+        # block -> (data, dirty); insertion order is recency (LRU).
+        self._cache: "OrderedDict[int, Tuple[bytes, bool]]" = OrderedDict()
+
+    # -- passthroughs ------------------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        """Block size of the backing device."""
+        return self.inner.block_size
+
+    @property
+    def total_blocks(self) -> int:
+        """Capacity of the backing device."""
+        return self.inner.total_blocks
+
+    @property
+    def clock(self):
+        """The shared virtual clock."""
+        return self.inner.clock
+
+    @property
+    def drive(self):
+        """The underlying drive."""
+        return self.inner.drive
+
+    @property
+    def name(self) -> str:
+        """Device name."""
+        return self.inner.name
+
+    # -- cache state ----------------------------------------------------------------
+
+    @property
+    def dirty_blocks(self) -> int:
+        """Blocks waiting to be destaged."""
+        return sum(1 for _, dirty in self._cache.values() if dirty)
+
+    @property
+    def dirty_limit(self) -> int:
+        """Dirty blocks allowed before writes must destage."""
+        return max(1, int(self.capacity_blocks * self.dirty_high_watermark))
+
+    def _touch(self, block: int) -> None:
+        self._cache.move_to_end(block)
+
+    def _evict_clean_if_full(self) -> None:
+        while len(self._cache) >= self.capacity_blocks:
+            for block, (_, dirty) in self._cache.items():
+                if not dirty:
+                    del self._cache[block]
+                    break
+            else:
+                # Everything is dirty: force one destage.
+                self._destage_oldest_dirty()
+
+    def _destage_oldest_dirty(self) -> None:
+        for block, (data, dirty) in self._cache.items():
+            if dirty:
+                self.inner.write_block(block, data)  # may raise BlockIOError
+                self._cache[block] = (data, False)
+                self.stats.destaged_blocks += 1
+                return
+
+    # -- device interface ----------------------------------------------------------------
+
+    def read_block(self, block: int) -> bytes:
+        """Read through the cache."""
+        cached = self._cache.get(block)
+        if cached is not None:
+            self.stats.read_hits += 1
+            self._touch(block)
+            return cached[0]
+        self.stats.read_misses += 1
+        data = self.inner.read_block(block)
+        self._evict_clean_if_full()
+        self._cache[block] = (data, False)
+        return data
+
+    def write_block(self, block: int, data: bytes) -> None:
+        """Absorb a write; blocks only at the dirty watermark.
+
+        Destage failures surface to the *current* writer (like a task
+        throttled in balance_dirty_pages seeing the device die).
+        """
+        if len(data) != self.block_size:
+            raise ConfigurationError(
+                f"payload of {len(data)} bytes != block size {self.block_size}"
+            )
+        while self.dirty_blocks >= self.dirty_limit:
+            try:
+                self._destage_oldest_dirty()
+            except BlockIOError:
+                self.stats.destage_failures += 1
+                raise
+        self._evict_clean_if_full()
+        self._cache[block] = (data, True)
+        self._touch(block)
+        self.stats.write_absorbs += 1
+        if self.write_latency_s:
+            self.clock.advance(self.write_latency_s)
+
+    def flush(self) -> None:
+        """Destage everything dirty, then flush the device (barrier)."""
+        while self.dirty_blocks:
+            try:
+                self._destage_oldest_dirty()
+            except BlockIOError:
+                self.stats.destage_failures += 1
+                raise
+        self.inner.flush()
+
+    def drop_dirty(self) -> int:
+        """Discard dirty data (a crash/power-loss); returns blocks lost.
+
+        This is the data an application *thought* it wrote but never
+        reached the platter — the integrity risk the paper alludes to.
+        """
+        lost = 0
+        for block in list(self._cache):
+            data, dirty = self._cache[block]
+            if dirty:
+                del self._cache[block]
+                lost += 1
+        return lost

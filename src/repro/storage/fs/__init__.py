@@ -1,0 +1,22 @@
+"""An Ext4-like journaling filesystem on the simulated block device.
+
+Implements the pieces whose failure the paper observes: a JBD-style
+journal with periodic commits (the journal aborts with error -5 when a
+commit cannot reach the platter, remounting the filesystem read-only),
+inodes with extent-based allocation, directories, and ordered-mode data
+writes.
+"""
+
+from .inode import FileKind, Inode
+from .journal import Journal, JournalStats, Transaction
+from .filesystem import FileHandle, SimFS
+
+__all__ = [
+    "FileKind",
+    "Inode",
+    "Journal",
+    "JournalStats",
+    "Transaction",
+    "SimFS",
+    "FileHandle",
+]

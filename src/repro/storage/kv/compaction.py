@@ -1,0 +1,230 @@
+"""Leveled compaction.
+
+L0 compacts into L1 when it accumulates ``l0_compaction_trigger``
+files; deeper levels compact when their total size exceeds
+``level_base_bytes * level_multiplier^(level-1)``.  Inputs are merged
+newest-sequence-wins, tombstones are dropped once nothing deeper can
+hold an older value, and outputs are split at the target file size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.storage.fs.filesystem import SimFS
+
+from .memtable import TOMBSTONE
+from .sstable import SSTableBuilder, SSTableReader
+from .version import NUM_LEVELS, FileMetadata, VersionEdit, VersionSet
+
+__all__ = ["CompactionPlan", "Compactor"]
+
+
+@dataclass
+class CompactionPlan:
+    """Inputs chosen for one compaction."""
+
+    level: int
+    inputs: List[FileMetadata]
+    overlapping: List[FileMetadata]
+
+    @property
+    def output_level(self) -> int:
+        """Where the merged files land."""
+        return self.level + 1
+
+
+class Compactor:
+    """Plans and executes compactions against a version set."""
+
+    def __init__(
+        self,
+        fs: SimFS,
+        versions: VersionSet,
+        reader_cache: Dict[int, SSTableReader],
+        l0_compaction_trigger: int = 4,
+        level_base_bytes: int = 8 << 20,
+        level_multiplier: int = 10,
+        target_file_bytes: int = 2 << 20,
+        live_snapshots=None,
+    ) -> None:
+        if l0_compaction_trigger < 2:
+            raise ConfigurationError("L0 trigger must be >= 2")
+        if level_base_bytes <= 0 or target_file_bytes <= 0:
+            raise ConfigurationError("size thresholds must be positive")
+        self.fs = fs
+        self.versions = versions
+        self.reader_cache = reader_cache
+        self.l0_compaction_trigger = l0_compaction_trigger
+        self.level_base_bytes = level_base_bytes
+        self.level_multiplier = level_multiplier
+        self.target_file_bytes = target_file_bytes
+        # Callable returning the sequence numbers of live snapshots;
+        # entries they can still see must survive compaction.
+        self.live_snapshots = live_snapshots if live_snapshots is not None else (lambda: [])
+        self.compactions_run = 0
+        self.bytes_compacted = 0
+
+    # -- planning -------------------------------------------------------------
+
+    def max_bytes_for_level(self, level: int) -> int:
+        """Size limit before ``level`` wants compaction (level >= 1)."""
+        return self.level_base_bytes * (self.level_multiplier ** (level - 1))
+
+    def pick(self) -> Optional[CompactionPlan]:
+        """Choose the most urgent compaction, or None if all is calm."""
+        l0_files = self.versions.files_at(0)
+        if len(l0_files) >= self.l0_compaction_trigger:
+            return self._plan(0, l0_files)
+        for level in range(1, NUM_LEVELS - 1):
+            if self.versions.level_bytes(level) > self.max_bytes_for_level(level):
+                files = self.versions.files_at(level)
+                # Compact the oldest (smallest number) file of the level.
+                victim = min(files, key=lambda f: f.number)
+                return self._plan(level, [victim])
+        return None
+
+    def _plan(self, level: int, inputs: List[FileMetadata]) -> CompactionPlan:
+        smallest = min(f.smallest for f in inputs)
+        largest = max(f.largest for f in inputs)
+        overlapping = [
+            f
+            for f in self.versions.files_at(level + 1)
+            if f.overlaps(smallest, largest)
+        ]
+        return CompactionPlan(level=level, inputs=inputs, overlapping=overlapping)
+
+    # -- execution -------------------------------------------------------------
+
+    def _reader(self, meta: FileMetadata) -> SSTableReader:
+        cached = self.reader_cache.get(meta.number)
+        if cached is not None:
+            return cached
+        reader = SSTableReader(self.fs, self.versions.table_path(meta.number))
+        self.reader_cache[meta.number] = reader
+        return reader
+
+    def _deeper_may_contain(self, output_level: int, key: bytes) -> bool:
+        for level in range(output_level + 1, NUM_LEVELS):
+            for meta in self.versions.files_at(level):
+                if meta.smallest <= key <= meta.largest:
+                    return True
+        return False
+
+    def run(self, plan: CompactionPlan) -> VersionEdit:
+        """Execute ``plan``: merge, write outputs, log the edit."""
+        sources = plan.inputs + plan.overlapping
+        streams = []
+        for meta in sources:
+            reader = self._reader(meta)
+            # Sort key: (user_key asc, sequence desc) via negated seq.
+            streams.append(
+                ((key, -seq, kind, value) for key, seq, kind, value in reader.iterate())
+            )
+        merged = heapq.merge(*streams)
+
+        edit = VersionEdit(deleted=[meta.number for meta in sources])
+        builder: Optional[SSTableBuilder] = None
+        builder_number = 0
+        snapshots = sorted(set(self.live_snapshots()))
+
+        def keep_entries(entries: "List[Tuple[bytes, int, int, bytes]]"):
+            """Versions of one key that must survive: the newest, plus
+            the newest visible to each live snapshot."""
+            entries.sort(key=lambda e: -e[1])  # newest first
+            keep = {entries[0][1]: entries[0]}
+            for snapshot_seq in snapshots:
+                for entry in entries:
+                    if entry[1] <= snapshot_seq:
+                        keep[entry[1]] = entry
+                        break
+            return sorted(keep.values(), key=lambda e: -e[1])
+
+        def finish_builder() -> None:
+            nonlocal builder
+            if builder is None or builder.entries == 0:
+                builder = None
+                return
+            size = builder.finish()
+            meta = FileMetadata(
+                number=builder_number,
+                level=plan.output_level,
+                size_bytes=size,
+                smallest=builder.smallest,
+                largest=builder.largest,
+                entries=builder.entries,
+            )
+            edit.added.append(meta)
+            self.reader_cache[builder_number] = SSTableReader(
+                self.fs,
+                self.versions.table_path(builder_number),
+                blob=builder.final_blob,
+            )
+            self.bytes_compacted += size
+            builder = None
+
+        def emit_key(key: bytes, entries) -> None:
+            nonlocal builder, builder_number
+            for index, (_, sequence, kind, value) in enumerate(keep_entries(entries)):
+                if (
+                    index == 0
+                    and kind == TOMBSTONE
+                    and len(entries) >= 1
+                    and not snapshots
+                    and not self._deeper_may_contain(plan.output_level, key)
+                ):
+                    continue  # the delete has fully propagated: drop it
+                if builder is None:
+                    builder_number = self.versions.new_file_number()
+                    builder = SSTableBuilder(
+                        self.fs, self.versions.table_path(builder_number)
+                    )
+                builder.add(key, sequence, kind, value)
+            if builder is not None and builder.data_bytes >= self.target_file_bytes:
+                finish_builder()
+
+        pending_key: Optional[bytes] = None
+        pending: "List[Tuple[bytes, int, int, bytes]]" = []
+        for key, neg_seq, kind, value in merged:
+            if key != pending_key:
+                if pending_key is not None:
+                    emit_key(pending_key, pending)
+                pending_key = key
+                pending = []
+            pending.append((key, -neg_seq, kind, value))
+        if pending_key is not None:
+            emit_key(pending_key, pending)
+        finish_builder()
+
+        self.versions.log_and_apply(edit)
+        for meta in sources:
+            self.reader_cache.pop(meta.number, None)
+            path = self.versions.table_path(meta.number)
+            if self.fs.exists(path):
+                self.fs.unlink(path)
+        self.compactions_run += 1
+        return edit
+
+    def force_level0(self) -> Optional[VersionEdit]:
+        """Compact all of L0 into L1 regardless of the trigger.
+
+        The manual CompactRange path; returns None when L0 is empty.
+        """
+        l0_files = self.versions.files_at(0)
+        if not l0_files:
+            return None
+        return self.run(self._plan(0, l0_files))
+
+    def maybe_compact(self, max_rounds: int = 4) -> int:
+        """Run compactions until calm (bounded); returns rounds run."""
+        rounds = 0
+        while rounds < max_rounds:
+            plan = self.pick()
+            if plan is None:
+                break
+            self.run(plan)
+            rounds += 1
+        return rounds

@@ -1,0 +1,144 @@
+"""Merging iterators over the LSM tree.
+
+A database iterator must merge the memtable and every SSTable, present
+each user key once (newest sequence wins), hide tombstones, honour a
+snapshot, and support ``seek``.  :class:`DBIterator` implements that on
+a heap of per-source cursors; :meth:`DB.iterator` (wired in db.py)
+builds one over the live version.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+from .memtable import TOMBSTONE, VALUE
+
+__all__ = ["SourceCursor", "DBIterator"]
+
+Entry = Tuple[bytes, int, int, bytes]  # key, sequence, kind, value
+
+
+class SourceCursor:
+    """A peekable cursor over one (key-sorted, seq-desc) entry stream."""
+
+    def __init__(self, entries: Iterator[Entry]) -> None:
+        self._entries = iter(entries)
+        self._head: Optional[Entry] = None
+        self._advance()
+
+    def _advance(self) -> None:
+        self._head = next(self._entries, None)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no entries remain."""
+        return self._head is None
+
+    def peek(self) -> Entry:
+        """The current entry (must not be exhausted)."""
+        if self._head is None:
+            raise ConfigurationError("cursor is exhausted")
+        return self._head
+
+    def pop(self) -> Entry:
+        """Consume and return the current entry."""
+        entry = self.peek()
+        self._advance()
+        return entry
+
+    def skip_to(self, key: bytes) -> None:
+        """Drop entries with keys below ``key``."""
+        while self._head is not None and self._head[0] < key:
+            self._advance()
+
+
+class DBIterator:
+    """Snapshot-consistent merged iteration over many sources.
+
+    Sources must each yield entries sorted by (key asc, sequence desc).
+    """
+
+    def __init__(
+        self,
+        sources: List[Iterator[Entry]],
+        snapshot: Optional[int] = None,
+    ) -> None:
+        self.snapshot = snapshot
+        self._cursors = [SourceCursor(source) for source in sources]
+        self._current: Optional[Tuple[bytes, bytes]] = None
+        self._advance_to_next_visible()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _visible(self, entry: Entry) -> bool:
+        return self.snapshot is None or entry[1] <= self.snapshot
+
+    def _pop_smallest_key(self) -> Optional[Tuple[bytes, List[Entry]]]:
+        live = [c for c in self._cursors if not c.exhausted]
+        if not live:
+            return None
+        smallest = min(c.peek()[0] for c in live)
+        entries: List[Entry] = []
+        for cursor in live:
+            while not cursor.exhausted and cursor.peek()[0] == smallest:
+                entries.append(cursor.pop())
+        return smallest, entries
+
+    def _advance_to_next_visible(self) -> None:
+        while True:
+            batch = self._pop_smallest_key()
+            if batch is None:
+                self._current = None
+                return
+            key, entries = batch
+            visible = [e for e in entries if self._visible(e)]
+            if not visible:
+                continue
+            newest = max(visible, key=lambda e: e[1])
+            if newest[2] == TOMBSTONE:
+                continue
+            self._current = (key, newest[3])
+            return
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        """True while positioned on a live entry."""
+        return self._current is not None
+
+    def key(self) -> bytes:
+        """Current key."""
+        if self._current is None:
+            raise ConfigurationError("iterator is not valid")
+        return self._current[0]
+
+    def value(self) -> bytes:
+        """Current value."""
+        if self._current is None:
+            raise ConfigurationError("iterator is not valid")
+        return self._current[1]
+
+    def next(self) -> None:
+        """Advance to the next live key."""
+        if self._current is None:
+            raise ConfigurationError("iterator is not valid")
+        self._advance_to_next_visible()
+
+    def seek(self, key: bytes) -> None:
+        """Position at the first live key >= ``key``.
+
+        Forward-only: seeking behind the current position does not
+        rewind (build a fresh iterator to restart).
+        """
+        for cursor in self._cursors:
+            cursor.skip_to(key)
+        self._advance_to_next_visible()
+
+    def __iter__(self) -> Iterator[Tuple[bytes, bytes]]:
+        while self.valid:
+            yield self.key(), self.value()
+            self.next()

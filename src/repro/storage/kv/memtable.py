@@ -1,0 +1,88 @@
+"""The memtable: an in-memory sorted buffer of recent writes.
+
+Entries carry a sequence number and a kind (value or tombstone), like
+RocksDB's internal keys; lookups return the newest entry at or below
+the read snapshot.  The memtable key encodes ``user_key`` ascending and
+sequence *descending* so that a single forward scan finds the newest
+visible entry first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import ReproRandom
+
+from .skiplist import SkipList
+
+__all__ = ["EntryKind", "MemTable", "VALUE", "TOMBSTONE"]
+
+VALUE = 0
+TOMBSTONE = 1
+
+_MAX_SEQ = (1 << 56) - 1
+
+
+def encode_internal_key(user_key: bytes, sequence: int) -> bytes:
+    """user_key + (max_seq - seq) big-endian: newest first within a key."""
+    if not 0 <= sequence <= _MAX_SEQ:
+        raise ConfigurationError(f"sequence out of range: {sequence}")
+    return user_key + b"\x00" + (_MAX_SEQ - sequence).to_bytes(7, "big")
+
+
+def decode_internal_key(internal_key: bytes) -> Tuple[bytes, int]:
+    """Inverse of :func:`encode_internal_key`."""
+    if len(internal_key) < 8 or internal_key[-8] != 0:
+        raise ConfigurationError("malformed internal key")
+    user_key = internal_key[:-8]
+    sequence = _MAX_SEQ - int.from_bytes(internal_key[-7:], "big")
+    return user_key, sequence
+
+
+class MemTable:
+    """A skiplist of internal keys with byte-size accounting."""
+
+    def __init__(self, rng: Optional[ReproRandom] = None) -> None:
+        self._list = SkipList(rng)
+        self._bytes = 0
+        self.entries = 0
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint used for flush decisions."""
+        return self._bytes
+
+    def add(self, sequence: int, kind: int, user_key: bytes, value: bytes = b"") -> None:
+        """Record a put (kind=VALUE) or delete (kind=TOMBSTONE)."""
+        if kind not in (VALUE, TOMBSTONE):
+            raise ConfigurationError(f"unknown entry kind: {kind}")
+        internal = encode_internal_key(user_key, sequence)
+        self._list.insert(internal, (kind, value))
+        self._bytes += len(user_key) + len(value) + 16
+        self.entries += 1
+
+    def get(self, user_key: bytes, snapshot: Optional[int] = None) -> "Optional[Tuple[int, bytes]]":
+        """Newest (kind, value) visible at ``snapshot``, or None.
+
+        ``None`` means the key is unknown here (check older tables);
+        a TOMBSTONE result means it is known deleted.
+        """
+        seq_limit = _MAX_SEQ if snapshot is None else snapshot
+        probe = encode_internal_key(user_key, seq_limit)
+        for internal, payload in self._list.items_from(probe):
+            found_key, _ = decode_internal_key(internal)
+            if found_key != user_key:
+                return None
+            return payload  # first hit is the newest visible
+        return None
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def iterate(self) -> Iterator[Tuple[bytes, int, int, bytes]]:
+        """Yield (user_key, sequence, kind, value), newest-first per key."""
+        for internal, (kind, value) in self._list.items():
+            user_key, sequence = decode_internal_key(internal)
+            yield user_key, sequence, kind, value

@@ -1,0 +1,133 @@
+"""A probabilistic skiplist — the memtable's ordered index.
+
+Same data structure RocksDB uses for its default memtable: O(log n)
+insert and search with sorted iteration, no rebalancing.  Keys are
+bytes; values are arbitrary Python objects owned by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import ReproRandom, make_rng
+
+__all__ = ["SkipList"]
+
+_MAX_LEVEL = 12
+_P = 0.25
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[bytes], value: object, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Sorted map from bytes keys to values."""
+
+    def __init__(self, rng: Optional[ReproRandom] = None) -> None:
+        self._rng = rng if rng is not None else make_rng().fork("skiplist")
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> List[_Node]:
+        update: List[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+            update[i] = node
+        return update
+
+    def insert(self, key: bytes, value: object) -> None:
+        """Insert or replace ``key``."""
+        if not isinstance(key, bytes):
+            raise ConfigurationError(f"keys must be bytes, got {type(key).__name__}")
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._size += 1
+
+    def get(self, key: bytes) -> Optional[object]:
+        """Value for ``key``, or None."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for i in range(len(node.forward)):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def items(self) -> Iterator[Tuple[bytes, object]]:
+        """Sorted (key, value) iteration."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def items_from(self, start_key: bytes) -> Iterator[Tuple[bytes, object]]:
+        """Sorted iteration beginning at the first key >= ``start_key``."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < start_key:
+                node = node.forward[i]
+        node = node.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def first_key(self) -> Optional[bytes]:
+        """Smallest key, or None when empty."""
+        node = self._head.forward[0]
+        return None if node is None else node.key
+
+    def last_key(self) -> Optional[bytes]:
+        """Largest key, or None when empty (O(n))."""
+        node = self._head.forward[0]
+        last = None
+        while node is not None:
+            last = node.key
+            node = node.forward[0]
+        return last

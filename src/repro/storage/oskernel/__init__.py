@@ -1,0 +1,28 @@
+"""A minimal server-OS model (the paper's Ubuntu 16.04 victim).
+
+Provides what Section 4.4's crash analysis needs: a kernel log ring
+buffer (dmesg) that accumulates buffer I/O errors, a writeback flusher
+that periodically pushes dirty pages at the root filesystem, a process
+table, a shell whose commands (``ls`` and friends) need the root
+filesystem, and a server that panics once storage disappears — "Ubuntu
+crash happens with an indication of inability to access all files,
+including regular files and common Linux commands, such as ls".
+"""
+
+from .dmesg import DmesgBuffer, DmesgEntry
+from .process import Process, ProcessState, ProcessTable
+from .kernel import Kernel
+from .shell import CommandResult, Shell
+from .server import UbuntuServer
+
+__all__ = [
+    "DmesgBuffer",
+    "DmesgEntry",
+    "Process",
+    "ProcessState",
+    "ProcessTable",
+    "Kernel",
+    "Shell",
+    "CommandResult",
+    "UbuntuServer",
+]

@@ -1,0 +1,120 @@
+"""Physical constants and unit conversions used throughout the package.
+
+Every module stores quantities in SI units internally (pascals, metres,
+hertz, seconds, kilograms).  Decibel quantities are only ever produced or
+consumed at the edges, through the helpers in :mod:`repro.acoustics.spl`
+and the converters below.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import UnitError
+
+# --------------------------------------------------------------------------
+# Reference pressures (the air/water +26 dB shift in the paper comes from
+# the ratio of these two references: 20 * log10(20 uPa / 1 uPa) ~= 26 dB).
+# --------------------------------------------------------------------------
+
+#: Reference pressure for SPL in air (20 micropascal), in Pa.
+P_REF_AIR = 20e-6
+
+#: Reference pressure for SPL in water (1 micropascal), in Pa.
+P_REF_WATER = 1e-6
+
+# --------------------------------------------------------------------------
+# Medium properties at room conditions.
+# --------------------------------------------------------------------------
+
+#: Density of fresh water at ~20 C, kg/m^3.
+DENSITY_FRESH_WATER = 998.0
+
+#: Density of sea water at ~13 C / 35 ppt, kg/m^3.
+DENSITY_SEA_WATER = 1026.0
+
+#: Density of air at 20 C, kg/m^3.
+DENSITY_AIR = 1.204
+
+#: Density of nitrogen gas at 20 C / 1 atm, kg/m^3 (data-center fill gas).
+DENSITY_NITROGEN = 1.165
+
+#: Speed of sound in air at 20 C, m/s.
+SOUND_SPEED_AIR = 343.0
+
+#: Speed of sound in nitrogen at 20 C, m/s.
+SOUND_SPEED_NITROGEN = 349.0
+
+#: Nominal speed of sound in fresh water at 20 C, m/s.
+SOUND_SPEED_FRESH_WATER = 1481.0
+
+# --------------------------------------------------------------------------
+# Sizes and times.
+# --------------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+SECTOR_SIZE = 512
+BLOCK_4K = 4 * KIB
+
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+#: Nanometre in metres (track pitches and off-track thresholds).
+NM = 1e-9
+
+CM = 1e-2
+KM = 1e3
+
+
+def db_to_ratio(db: float) -> float:
+    """Convert a decibel *amplitude* gain to a linear pressure ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear pressure ratio to decibels (amplitude convention)."""
+    if ratio <= 0.0:
+        raise UnitError(f"pressure ratio must be positive, got {ratio!r}")
+    return 20.0 * math.log10(ratio)
+
+
+def db_power_to_ratio(db: float) -> float:
+    """Convert a decibel *power* gain to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def mb_per_s(bytes_count: float, seconds: float) -> float:
+    """Throughput in MB/s (decimal megabytes, matching FIO's reporting)."""
+    if seconds <= 0.0:
+        raise UnitError(f"duration must be positive, got {seconds!r}")
+    return bytes_count / 1e6 / seconds
+
+
+def rpm_to_rev_time(rpm: float) -> float:
+    """Rotation period in seconds of a spindle turning at ``rpm``."""
+    if rpm <= 0.0:
+        raise UnitError(f"spindle speed must be positive, got {rpm!r}")
+    return 60.0 / rpm
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert Celsius to Kelvin, validating against absolute zero."""
+    kelvin = celsius + 273.15
+    if kelvin < 0.0:
+        raise UnitError(f"temperature below absolute zero: {celsius!r} C")
+    return kelvin
+
+
+def depth_to_pressure_atm(depth_m: float) -> float:
+    """Approximate absolute pressure in atmospheres at ``depth_m`` metres.
+
+    Hydrostatic pressure rises roughly one atmosphere every 10 metres of
+    sea water; used by the absorption formulas.
+    """
+    if depth_m < 0.0:
+        raise UnitError(f"depth must be non-negative, got {depth_m!r}")
+    return 1.0 + depth_m / 10.0

@@ -1,0 +1,40 @@
+"""Structure-borne vibration substrate.
+
+Models how an underwater pressure wave arriving at the container wall
+becomes mechanical vibration at the victim HDD: material properties,
+forced-panel wall response, impedance-mismatch transmission, mount
+(rack/tower) coupling, and the modal response of the head-stack
+assembly.  These are the mechanisms the paper identifies ("acoustic
+waves induce mechanical vibrations in the HDD and container structure;
+these vibrations jostle the HDD's internal components").
+"""
+
+from .materials import ALUMINUM, HARD_PLASTIC, STEEL, ACRYLIC, TITANIUM, Material
+from .transmission import (
+    PanelWall,
+    intensity_transmission_coefficient,
+    mass_law_tl_db,
+    pressure_transmission_coefficient,
+)
+from .modes import ModalResponse, VibrationMode
+from .enclosure import Enclosure
+from .mount import DirectPlacement, Mount, StorageTower
+
+__all__ = [
+    "Material",
+    "HARD_PLASTIC",
+    "ALUMINUM",
+    "STEEL",
+    "ACRYLIC",
+    "TITANIUM",
+    "PanelWall",
+    "intensity_transmission_coefficient",
+    "pressure_transmission_coefficient",
+    "mass_law_tl_db",
+    "VibrationMode",
+    "ModalResponse",
+    "Enclosure",
+    "Mount",
+    "DirectPlacement",
+    "StorageTower",
+]

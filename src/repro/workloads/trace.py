@@ -1,0 +1,202 @@
+"""I/O trace capture and replay.
+
+Lets experiments exercise drives with recorded (or synthesized) request
+streams instead of FIO's fixed patterns: capture a trace from any
+workload, save/load it as text, and replay it against a fresh drive —
+with or without an attack — comparing completion statistics.  This is
+the mechanism behind "replayable victim workloads" in the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.errors import ConfigurationError, DriveError
+from repro.hdd.drive import HardDiskDrive
+from repro.hdd.servo import OpKind
+from repro.rng import ReproRandom, make_rng
+
+__all__ = ["TraceRecord", "IOTrace", "TraceReplayer", "synthesize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request: issue time (relative), op, LBA, sector count."""
+
+    issue_at_s: float
+    op: OpKind
+    lba: int
+    sectors: int
+
+    def __post_init__(self) -> None:
+        if self.issue_at_s < 0.0:
+            raise ConfigurationError(f"issue time must be non-negative: {self.issue_at_s}")
+        if self.sectors <= 0:
+            raise ConfigurationError(f"sector count must be positive: {self.sectors}")
+
+    def to_line(self) -> str:
+        """One-line text form: ``time op lba sectors``.
+
+        Times use repr precision so load(dump(trace)) is exact.
+        """
+        return f"{self.issue_at_s!r} {self.op.value} {self.lba} {self.sectors}"
+
+    @staticmethod
+    def from_line(line: str) -> "TraceRecord":
+        """Inverse of :meth:`to_line`."""
+        parts = line.split()
+        if len(parts) != 4:
+            raise ConfigurationError(f"malformed trace line: {line!r}")
+        try:
+            return TraceRecord(
+                issue_at_s=float(parts[0]),
+                op=OpKind(parts[1]),
+                lba=int(parts[2]),
+                sectors=int(parts[3]),
+            )
+        except (ValueError, KeyError) as exc:
+            raise ConfigurationError(f"malformed trace line: {line!r}") from exc
+
+
+class IOTrace:
+    """An ordered request stream."""
+
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None) -> None:
+        self.records: List[TraceRecord] = list(records or [])
+        if any(
+            b.issue_at_s < a.issue_at_s
+            for a, b in zip(self.records, self.records[1:])
+        ):
+            raise ConfigurationError("trace records must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        """Add a record (must not go back in time)."""
+        if self.records and record.issue_at_s < self.records[-1].issue_at_s:
+            raise ConfigurationError("trace records must be time-ordered")
+        self.records.append(record)
+
+    @property
+    def duration_s(self) -> float:
+        """Issue time of the final request."""
+        return self.records[-1].issue_at_s if self.records else 0.0
+
+    def bytes_requested(self) -> int:
+        """Total payload bytes across all requests."""
+        return sum(r.sectors * 512 for r in self.records)
+
+    # -- text serialization -------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialize to the one-line-per-record text format."""
+        return "\n".join(r.to_line() for r in self.records) + ("\n" if self.records else "")
+
+    @staticmethod
+    def loads(text: str) -> "IOTrace":
+        """Parse the text format (blank lines and # comments skipped)."""
+        records = [
+            TraceRecord.from_line(line)
+            for line in text.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+        return IOTrace(records)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace."""
+
+    completed: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    bytes_moved: int = 0
+    elapsed_s: float = 0.0
+    total_latency_s: float = 0.0
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of requests that completed."""
+        total = self.completed + self.errors + self.timeouts
+        return self.completed / total if total else 0.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Decimal MB/s over the replay."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.bytes_moved / 1e6 / self.elapsed_s
+
+
+class TraceReplayer:
+    """Replays a trace against a drive on its virtual clock.
+
+    Open-loop replay: each request is issued at its recorded time (the
+    clock skips idle gaps); if the device is still busy past the issue
+    time the request goes out immediately after (closed-loop backlog),
+    like ``fio --read_iolog`` replay.
+    """
+
+    def __init__(self, drive: HardDiskDrive) -> None:
+        self.drive = drive
+
+    def replay(self, trace: IOTrace) -> ReplayResult:
+        """Run the whole trace; returns aggregate statistics."""
+        result = ReplayResult()
+        clock = self.drive.clock
+        start = clock.now
+        for record in trace.records:
+            target = start + record.issue_at_s
+            if clock.now < target:
+                clock.advance(target - clock.now)
+            try:
+                if record.op is OpKind.WRITE:
+                    io = self.drive.write(record.lba, record.sectors)
+                else:
+                    io, _ = self.drive.read(record.lba, record.sectors)
+            except DriveError as err:
+                from repro.errors import DriveTimeout
+
+                if isinstance(err, DriveTimeout):
+                    result.timeouts += 1
+                else:
+                    result.errors += 1
+                continue
+            result.completed += 1
+            result.bytes_moved += record.sectors * 512
+            result.total_latency_s += io.latency_s
+        result.elapsed_s = clock.now - start
+        return result
+
+
+def synthesize_trace(
+    duration_s: float = 1.0,
+    iops: float = 2000.0,
+    write_fraction: float = 0.5,
+    sequential_fraction: float = 0.8,
+    region_sectors: int = 16 * 1024 * 1024,
+    block_sectors: int = 8,
+    rng: Optional[ReproRandom] = None,
+) -> IOTrace:
+    """Generate a mixed sequential/random read/write trace."""
+    if duration_s <= 0.0 or iops <= 0.0:
+        raise ConfigurationError("duration and iops must be positive")
+    if not 0.0 <= write_fraction <= 1.0 or not 0.0 <= sequential_fraction <= 1.0:
+        raise ConfigurationError("fractions must be in [0, 1]")
+    rng = rng if rng is not None else make_rng().fork("trace")
+    trace = IOTrace()
+    cursor = 0
+    time = 0.0
+    interval = 1.0 / iops
+    while time < duration_s:
+        op = OpKind.WRITE if rng.chance(write_fraction) else OpKind.READ
+        if rng.chance(sequential_fraction):
+            lba = cursor
+            cursor = (cursor + block_sectors) % (region_sectors - block_sectors)
+        else:
+            lba = rng.randint(0, (region_sectors - block_sectors) // block_sectors) * block_sectors
+        trace.append(TraceRecord(time, op, lba, block_sectors))
+        time += interval
+    return trace

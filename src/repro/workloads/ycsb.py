@@ -1,0 +1,196 @@
+"""YCSB-style workloads for the key-value store.
+
+The Yahoo! Cloud Serving Benchmark's canonical mixes are how storage
+papers characterise "realistic" serving traffic; running them against
+the simulated store (quiet and under attack) shows how the attack's
+write-path bias lands on different application profiles:
+
+* **A** — update heavy (50/50 read/update)
+* **B** — read mostly (95/5)
+* **C** — read only
+* **D** — read latest (95/5 insert, reads skewed to recent keys)
+* **F** — read-modify-write
+
+Keys follow a Zipfian popularity distribution (seeded, Gray et al.'s
+rejection-free inverse-CDF approximation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import (
+    BlockIOError,
+    ConfigurationError,
+    DatabaseClosed,
+    DriveError,
+    WALSyncError,
+)
+from repro.rng import ReproRandom, make_rng
+from repro.storage.kv.db import DB
+
+__all__ = ["ZipfianGenerator", "YcsbWorkload", "YcsbResult", "YcsbRunner", "WORKLOADS"]
+
+_FATAL = (WALSyncError, DatabaseClosed, BlockIOError, DriveError)
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, n) (theta ~ 0.99 like YCSB)."""
+
+    def __init__(self, n: int, theta: float = 0.99, rng: Optional[ReproRandom] = None) -> None:
+        if n < 1:
+            raise ConfigurationError(f"population must be >= 1: {n}")
+        if not 0.0 < theta < 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1): {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng if rng is not None else make_rng().fork("zipf")
+        self._zetan = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        self._zeta2 = 1.0 + 2.0 ** -theta
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan)
+
+    def next(self) -> int:
+        """Draw one rank (0 = most popular)."""
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._zeta2:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """An operation mix (fractions must sum to 1)."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    rmw: float = 0.0
+    scan: float = 0.0
+    scan_length: int = 20
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.rmw + self.scan
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"workload {self.name}: mix sums to {total}")
+
+
+#: The canonical mixes.
+WORKLOADS: Dict[str, YcsbWorkload] = {
+    "A": YcsbWorkload("A", read=0.5, update=0.5),
+    "B": YcsbWorkload("B", read=0.95, update=0.05),
+    "C": YcsbWorkload("C", read=1.0),
+    "D": YcsbWorkload("D", read=0.95, insert=0.05),
+    "F": YcsbWorkload("F", read=0.5, rmw=0.5),
+}
+
+
+@dataclass
+class YcsbResult:
+    """Aggregated outcome of one YCSB run."""
+
+    workload: str
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    scans: int = 0
+    found: int = 0
+    elapsed_s: float = 0.0
+    aborted: bool = False
+    abort_reason: str = ""
+
+    @property
+    def ops_per_second(self) -> float:
+        """Operation throughput."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.ops / self.elapsed_s
+
+
+class YcsbRunner:
+    """Executes YCSB mixes against one DB on its virtual clock."""
+
+    def __init__(
+        self,
+        db: DB,
+        record_count: int = 5_000,
+        value_size: int = 100,
+        rng: Optional[ReproRandom] = None,
+    ) -> None:
+        if record_count < 1 or value_size < 1:
+            raise ConfigurationError("record count and value size must be positive")
+        self.db = db
+        self.record_count = record_count
+        self.value_size = value_size
+        self.rng = rng if rng is not None else make_rng().fork("ycsb")
+        self._zipf = ZipfianGenerator(record_count, rng=self.rng.fork("zipf"))
+        self._inserted = 0
+
+    def _key(self, rank: int) -> bytes:
+        return f"user{rank:012d}".encode()
+
+    def _value(self, rank: int) -> bytes:
+        return (f"field0={rank};".encode() * (self.value_size // 10 + 1))[: self.value_size]
+
+    def load(self) -> None:
+        """The YCSB load phase: insert every record."""
+        for rank in range(self.record_count):
+            self.db.put(self._key(rank), self._value(rank))
+        self._inserted = self.record_count
+        self.db.flush()
+
+    def run(self, workload: YcsbWorkload, duration_s: float = 1.0) -> YcsbResult:
+        """The transaction phase: run the mix for ``duration_s``."""
+        if self._inserted == 0:
+            raise ConfigurationError("run load() first")
+        result = YcsbResult(workload=workload.name)
+        clock = self.db.clock
+        start = clock.now
+        thresholds = (
+            workload.read,
+            workload.read + workload.update,
+            workload.read + workload.update + workload.insert,
+            workload.read + workload.update + workload.insert + workload.rmw,
+        )
+        try:
+            while clock.now - start < duration_s:
+                rank = min(self._zipf.next(), self._inserted - 1)
+                key = self._key(rank)
+                draw = self.rng.random()
+                result.ops += 1
+                if draw < thresholds[0]:
+                    result.reads += 1
+                    if self.db.get(key) is not None:
+                        result.found += 1
+                elif draw < thresholds[1]:
+                    result.writes += 1
+                    self.db.put(key, self._value(rank))
+                elif draw < thresholds[2]:
+                    result.writes += 1
+                    self.db.put(self._key(self._inserted), self._value(self._inserted))
+                    self._inserted += 1
+                elif draw < thresholds[3]:
+                    result.reads += 1
+                    result.writes += 1
+                    existing = self.db.get(key)
+                    if existing is not None:
+                        result.found += 1
+                    self.db.put(key, self._value(rank))
+                else:
+                    result.scans += 1
+                    count = 0
+                    for _ in self.db.range_scan(start=key):
+                        count += 1
+                        if count >= workload.scan_length:
+                            break
+        except _FATAL as err:
+            result.aborted = True
+            result.abort_reason = str(err)
+        result.elapsed_s = clock.now - start
+        return result

@@ -1,0 +1,108 @@
+"""Experiment drivers, ablations, and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ablations import (
+    run_defense_ablation,
+    run_material_ablation,
+    run_source_level_ablation,
+    run_water_conditions_ablation,
+)
+from repro.experiments.figure2 import default_frequencies, run_figure2
+from repro.experiments.table2 import run_table2
+
+
+class TestFigure2Driver:
+    def test_small_grid_runs_and_renders(self):
+        result = run_figure2(
+            frequencies_hz=[300.0, 650.0, 3000.0], fio_runtime_s=0.2
+        )
+        assert set(result.sweeps) == {"Scenario 1", "Scenario 2", "Scenario 3"}
+        rendered = result.render()
+        assert "Figure 2a" in rendered and "Figure 2b" in rendered
+        assert "Scenario 3" in rendered
+
+    def test_default_grid_covers_paper_band(self):
+        freqs = default_frequencies()
+        assert freqs[0] == 100.0
+        assert freqs[-1] <= 8000.0
+        assert 600.0 in freqs and 700.0 in freqs  # brackets the 650 Hz tone
+        assert 1300.0 in freqs
+
+
+class TestTable2Driver:
+    def test_shape_and_render(self):
+        result = run_table2(distances_m=(0.01, 0.25), duration_s=0.3)
+        assert result.baseline.ops_per_second > 50_000
+        near = result.points[0][1]
+        far = result.points[1][1]
+        assert near.throughput_mbps < 0.5
+        assert far.throughput_mbps == pytest.approx(
+            result.baseline.throughput_mbps, rel=0.1
+        )
+        rendered = result.render()
+        assert "No Attack" in rendered and "25 cm" in rendered
+
+
+class TestAblations:
+    def test_material_ablation_rows(self):
+        table = run_material_ablation(frequencies_hz=(650.0, 1700.0))
+        rendered = table.render()
+        assert "hard plastic" in rendered and "aluminum" in rendered
+        assert "steel" in rendered
+
+    def test_source_level_monotone_range(self):
+        table = run_source_level_ablation(levels_db=(140.0, 180.0, 220.0))
+        ranges = []
+        for row in table.rows:
+            cell = row[1]
+            if cell.startswith(">"):
+                ranges.append(float(cell[1:]))
+            elif cell.startswith("0"):
+                ranges.append(0.0)
+            else:
+                ranges.append(float(cell))
+        assert ranges == sorted(ranges)
+        assert ranges[-1] > 100 * max(ranges[0], 0.01)
+
+    def test_water_conditions_rows(self):
+        rendered = run_water_conditions_ablation().render()
+        assert "Baltic" in rendered
+        assert "lab tank" in rendered
+
+    def test_defense_ablation_marks_effectiveness(self):
+        rendered = run_defense_ablation().render()
+        assert "absorbent coating" in rendered
+        assert "vibration isolators" in rendered
+        assert "firmware notch filter" in rendered
+
+
+class TestCLI:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("figure2", "table1", "table2", "table3", "ablations", "predict", "all"):
+            args = parser.parse_args(
+                [command] + (["--frequency", "650", "--distance", "0.01"] if command == "predict" else [])
+            )
+            assert args.command == command
+
+    def test_predict_prints_ratios(self, capsys):
+        code = main(["predict", "--frequency", "650", "--distance", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "write ratio" in out
+        assert "no response" in out
+
+    def test_predict_out_of_band_is_harmless(self, capsys):
+        main(["predict", "--frequency", "8000", "--distance", "0.25"])
+        out = capsys.readouterr().out
+        assert "p(write success):  1.000" in out
+
+    def test_ablations_water(self, capsys):
+        assert main(["ablations", "--which", "water"]) == 0
+        assert "Baltic" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

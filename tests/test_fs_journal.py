@@ -1,0 +1,114 @@
+"""The JBD-style journal: commits, aborts, recovery."""
+
+import pytest
+
+from repro.errors import ConfigurationError, JournalAbort, ReadOnlyFilesystem
+from repro.hdd.servo import VibrationInput
+from repro.storage.fs.journal import Journal
+from repro.units import BLOCK_4K
+
+
+def stall(drive):
+    servo = drive.profile.servo
+    mechanical = servo.hsa.response(650.0) * servo.head_gain * servo.rejection(650.0)
+    drive.set_vibration(VibrationInput(650.0, 2.0 * servo.servo_limit_m / mechanical))
+
+
+@pytest.fixture
+def journal(device):
+    return Journal(device, start_block=1, length_blocks=64, commit_interval_s=5.0)
+
+
+def image(byte: int) -> bytes:
+    return bytes([byte]) * BLOCK_4K
+
+
+class TestTransactions:
+    def test_stage_and_commit_checkpoints_home_blocks(self, journal, device):
+        journal.stage_metadata(500, image(0xAA))
+        journal.stage_metadata(501, image(0xBB))
+        journal.commit()
+        assert device.read_block(500) == image(0xAA)
+        assert device.read_block(501) == image(0xBB)
+        assert journal.stats.commits == 1
+        assert journal.stats.blocks_logged == 2
+
+    def test_last_write_wins_within_transaction(self, journal, device):
+        journal.stage_metadata(500, image(0x01))
+        journal.stage_metadata(500, image(0x02))
+        journal.commit()
+        assert device.read_block(500) == image(0x02)
+        assert journal.stats.blocks_logged == 1
+
+    def test_empty_commit_is_noop(self, journal):
+        journal.commit()
+        assert journal.stats.checkpoints == 0
+
+    def test_commit_due_follows_timer(self, journal, device):
+        journal.stage_metadata(500, image(0x01))
+        assert not journal.commit_due()
+        device.clock.advance(5.1)
+        assert journal.commit_due()
+        journal.tick()
+        assert journal.stats.commits == 1
+
+    def test_payload_must_be_block_sized(self, journal):
+        with pytest.raises(ConfigurationError):
+            journal.stage_metadata(500, b"tiny")
+
+
+class TestAbort:
+    def test_blocked_commit_aborts_with_error_minus_5(self, journal, device):
+        journal.stage_metadata(500, image(0x01))
+        stall(device.drive)
+        with pytest.raises(JournalAbort) as excinfo:
+            journal.commit()
+        assert excinfo.value.code == -5
+        assert journal.aborted
+
+    def test_aborted_journal_is_read_only(self, journal, device):
+        journal.stage_metadata(500, image(0x01))
+        stall(device.drive)
+        with pytest.raises(JournalAbort):
+            journal.commit()
+        device.drive.set_vibration(None)
+        with pytest.raises(ReadOnlyFilesystem):
+            journal.stage_metadata(501, image(0x02))
+        with pytest.raises(ReadOnlyFilesystem):
+            journal.commit()
+
+
+class TestRecovery:
+    def test_committed_transaction_replays(self, device):
+        journal = Journal(device, 1, 64)
+        journal.stage_metadata(500, image(0xCC))
+        journal.commit()
+        # Clobber the home block, simulating a crash before checkpoint
+        # ... then recovery re-applies the journal image.
+        device.write_block(500, image(0x00))
+        fresh = Journal(device, 1, 64)
+        replayed = fresh.recover()
+        assert replayed == 1
+        assert device.read_block(500) == image(0xCC)
+
+    def test_uncommitted_transaction_is_not_replayed(self, device):
+        journal = Journal(device, 1, 64)
+        journal.stage_metadata(500, image(0xCC))
+        # No commit: nothing durable.
+        fresh = Journal(device, 1, 64)
+        assert fresh.recover() == 0
+
+    def test_multiple_transactions_replay_in_order(self, device):
+        journal = Journal(device, 1, 64)
+        journal.stage_metadata(500, image(0x01))
+        journal.commit()
+        journal.stage_metadata(500, image(0x02))
+        journal.commit()
+        device.write_block(500, image(0x00))
+        fresh = Journal(device, 1, 64)
+        assert fresh.recover() == 2
+        assert device.read_block(500) == image(0x02)
+
+    def test_journal_too_small_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            Journal(device, 1, 4)

@@ -1,0 +1,221 @@
+"""fsck, the DB iterator, speaker arrays, and campaign planning."""
+
+import math
+
+import pytest
+
+from repro.acoustics.arrays import SpeakerArray
+from repro.core.campaign import CampaignPlanner
+from repro.core.coupling import AttackCoupling
+from repro.core.scenario import Scenario
+from repro.errors import ConfigurationError, UnitError
+from repro.storage.fs.fsck import check
+from repro.storage.fs.inode import Extent
+
+
+class TestFsck:
+    def test_fresh_filesystem_is_clean(self, fs):
+        report = check(fs)
+        assert report.clean
+        assert report.inodes_checked == 1
+
+    def test_populated_filesystem_is_clean(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.create("/a/b/file")
+        fs.write_file("/a/b/file", b"x" * 9000)
+        fs.create("/top")
+        report = check(fs)
+        assert report.clean, report.render()
+        assert report.blocks_checked >= 3
+
+    def test_detects_dangling_directory_entry(self, fs):
+        fs.create("/victim")
+        inode = fs.stat("/victim")
+        del fs.inodes[inode.ino]  # simulate lost inode record
+        report = check(fs)
+        assert not report.clean
+        assert any("dangling" in e for e in report.errors)
+
+    def test_detects_shared_blocks(self, fs):
+        fs.create("/a")
+        fs.write_file("/a", b"x" * 4096)
+        fs.create("/b")
+        fs.write_file("/b", b"y" * 4096)
+        fs.stat("/b").extents[:] = list(fs.stat("/a").extents)
+        report = check(fs)
+        assert any("shared" in e for e in report.errors)
+
+    def test_detects_orphaned_inode(self, fs):
+        fs.create("/ghost")
+        inode = fs.stat("/ghost")
+        entries = fs._dir_entries(fs.stat("/"))
+        del entries[("ghost")]
+        fs._write_dir_entries(fs.stat("/"), entries)
+        report = check(fs)
+        assert any("orphaned" in e and str(inode.ino) in e for e in report.errors)
+
+    def test_detects_size_beyond_allocation(self, fs):
+        fs.create("/f")
+        fs.write_file("/f", b"x" * 100)
+        fs.stat("/f").size = 999_999
+        report = check(fs)
+        assert any("exceeds allocated" in e for e in report.errors)
+
+    def test_detects_cursor_violation(self, fs):
+        fs.create("/f")
+        fs.stat("/f").extents.append(Extent(fs.device.total_blocks - 4, 2))
+        fs.alloc_cursor = fs.data_start  # pretend nothing was allocated
+        report = check(fs)
+        assert any("allocator cursor" in e for e in report.errors)
+
+    def test_render_mentions_errors(self, fs):
+        fs.create("/x")
+        del fs.inodes[fs.stat("/").ino]  # nuke root: catastrophic
+        fs.inodes.clear()
+        report = check(fs)
+        assert "root inode missing" in report.render()
+
+
+class TestDBIterator:
+    def test_iterates_in_order_across_sources(self, db):
+        for i in (3, 1, 2):
+            db.put(f"{i}".encode(), f"v{i}".encode())
+        db.flush()
+        db.put(b"0", b"v0")
+        keys = [k for k, _ in db.iterator()]
+        assert keys == [b"0", b"1", b"2", b"3"]
+
+    def test_newest_version_wins(self, db):
+        db.put(b"k", b"old")
+        db.flush()
+        db.put(b"k", b"new")
+        it = db.iterator()
+        assert it.key() == b"k" and it.value() == b"new"
+
+    def test_tombstones_hidden(self, db):
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        db.flush()
+        db.delete(b"a")
+        assert [k for k, _ in db.iterator()] == [b"b"]
+
+    def test_snapshot_iteration(self, db):
+        db.put(b"k", b"v1")
+        snapshot = db.versions.last_sequence
+        db.put(b"k", b"v2")
+        db.put(b"later", b"x")
+        it = db.iterator(snapshot=snapshot)
+        pairs = list(it)
+        assert pairs == [(b"k", b"v1")]
+
+    def test_seek(self, db):
+        for i in range(10):
+            db.put(f"{i:02d}".encode(), b"v")
+        it = db.iterator()
+        it.seek(b"05")
+        assert it.key() == b"05"
+        # Seek between keys lands on the next one; iterators are
+        # forward-only, so use a fresh one.
+        it = db.iterator()
+        it.seek(b"045")
+        assert it.key() == b"05"
+
+    def test_exhaustion(self, db):
+        db.put(b"only", b"v")
+        it = db.iterator()
+        it.next()
+        assert not it.valid
+        with pytest.raises(ConfigurationError):
+            it.key()
+
+
+class TestSpeakerArray:
+    def test_coherent_gain_6db_per_doubling(self):
+        assert SpeakerArray(count=2).coherent_gain_db() == pytest.approx(6.02, abs=0.01)
+        assert SpeakerArray(count=8).coherent_gain_db() == pytest.approx(18.06, abs=0.01)
+
+    def test_on_axis_directivity_is_unity(self):
+        array = SpeakerArray(count=6, spacing_m=0.5)
+        assert array.directivity(650.0, 0.0) == pytest.approx(1.0)
+
+    def test_off_axis_attenuation(self):
+        array = SpeakerArray(count=8, spacing_m=1.0)
+        off_axis = array.directivity(650.0, math.radians(40.0))
+        assert off_axis < 0.5
+
+    def test_beam_narrows_with_aperture(self):
+        small = SpeakerArray(count=2, spacing_m=0.5)
+        large = SpeakerArray(count=16, spacing_m=0.5)
+        assert large.beamwidth_deg(650.0) < small.beamwidth_deg(650.0)
+
+    def test_grating_lobes_at_wide_spacing(self):
+        array = SpeakerArray(count=4, spacing_m=2.0)
+        assert array.has_grating_lobes(650.0)  # lambda/2 = 1.14 m
+        assert not array.has_grating_lobes(300.0)
+
+    def test_received_level_combines_gain_and_pattern(self):
+        array = SpeakerArray(count=4, spacing_m=0.5)
+        on_axis = array.received_level_db(140.0, 650.0, 0.0)
+        assert on_axis == pytest.approx(152.0, abs=0.1)
+        assert array.received_level_db(140.0, 650.0, math.radians(60.0)) < on_axis
+
+    def test_single_element_is_omni(self):
+        array = SpeakerArray(count=1)
+        assert array.directivity(650.0, 1.0) == 1.0
+        assert array.beamwidth_deg(650.0) == 360.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpeakerArray(count=0)
+        with pytest.raises(UnitError):
+            SpeakerArray(spacing_m=0.0)
+
+
+class TestCampaignPlanner:
+    @pytest.fixture
+    def planner(self):
+        return CampaignPlanner(AttackCoupling.paper_setup(Scenario.scenario_2()))
+
+    def test_best_tone_is_in_band_and_stalls(self, planner):
+        tone = planner.best_tone()
+        assert 300.0 <= tone.frequency_hz <= 1700.0
+        assert tone.stalls_servo
+        assert tone.write_ratio > tone.read_ratio
+
+    def test_vulnerable_band_prediction(self, planner):
+        band = planner.vulnerable_band()
+        assert band is not None
+        low, high = band
+        assert low <= 400.0
+        assert 1200.0 <= high <= 2200.0
+
+    def test_no_band_far_away(self, planner):
+        assert planner.vulnerable_band(distance_m=0.25) is None
+
+    def test_max_stall_distance_near_paper_cliff(self, planner):
+        reach = planner.max_stall_distance_m(650.0)
+        assert 0.03 < reach < 0.10  # paper: no response at 5 cm, not at 10
+
+    def test_crash_campaign_covers_horizon(self, planner):
+        plan = planner.plan_crash_campaign()
+        assert plan.objective == "crash"
+        assert plan.total_on_time_s >= planner.crash_horizon_s
+        assert plan.active_at(10.0)
+
+    def test_crash_campaign_impossible_from_afar(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan_crash_campaign(distance_m=0.25)
+
+    def test_degradation_campaign_stays_under_horizon(self, planner):
+        plan = planner.plan_degradation_campaign(total_s=300.0, duty_cycle=0.25, burst_s=20.0)
+        assert plan.objective == "degrade"
+        for start, stop in plan.bursts:
+            assert stop - start < planner.crash_horizon_s
+        assert plan.total_on_time_s == pytest.approx(0.25 * 300.0, rel=0.15)
+        assert plan.active_at(5.0)
+        assert not plan.active_at(25.0)
+
+    def test_degradation_burst_bounds_validated(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan_degradation_campaign(total_s=100.0, burst_s=100.0)

@@ -1,0 +1,109 @@
+"""Golden regression values.
+
+Everything in the simulation is seeded, so the headline numbers are
+exactly reproducible.  These tests pin them: if a change to the physics,
+the drive model, or the storage stack moves a headline result, one of
+these fails and the change is either a bug or a deliberate recalibration
+(update the constants here and the EXPERIMENTS.md tables together).
+"""
+
+import pytest
+
+from repro.core.attack import AttackSession
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.scenario import Scenario
+from repro.hdd.profiles import BARRACUDA_500GB
+from repro.hdd.servo import OpKind
+
+
+class TestGoldenCouplingChain:
+    """The physics chain, evaluated analytically (no RNG at all)."""
+
+    def test_offtrack_at_paper_best(self):
+        coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+        vibration = coupling.vibration_at_drive(AttackConfig.paper_best())
+        amplitude_nm = BARRACUDA_500GB.servo.offtrack_amplitude_m(vibration) * 1e9
+        assert amplitude_nm == pytest.approx(147.3, abs=1.0)
+
+    def test_offtrack_by_distance_650hz(self):
+        coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+        servo = BARRACUDA_500GB.servo
+        expected_nm = {0.01: 147.3, 0.05: 29.5, 0.10: 14.7, 0.15: 9.8, 0.25: 5.9}
+        for distance, nm in expected_nm.items():
+            vibration = coupling.vibration_at_drive(
+                AttackConfig(650.0, 140.0, distance)
+            )
+            assert servo.offtrack_amplitude_m(vibration) * 1e9 == pytest.approx(
+                nm, abs=0.2
+            )
+
+    def test_success_probabilities_at_10cm(self):
+        coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+        vibration = coupling.vibration_at_drive(AttackConfig(650.0, 140.0, 0.10))
+        servo = BARRACUDA_500GB.servo
+        assert servo.success_probability(OpKind.WRITE, vibration) == pytest.approx(
+            0.121, abs=0.01
+        )
+        assert servo.success_probability(OpKind.READ, vibration) == pytest.approx(
+            0.990, abs=0.005
+        )
+
+    def test_scenario3_attenuation_at_650(self):
+        plastic = AttackCoupling.paper_setup(Scenario.scenario_2())
+        metal = AttackCoupling.paper_setup(Scenario.scenario_3())
+        config = AttackConfig(650.0, 140.0, 0.01)
+        ratio = (
+            metal.vibration_at_drive(config).displacement_m
+            / plastic.vibration_at_drive(config).displacement_m
+        )
+        assert ratio == pytest.approx(0.452, abs=0.02)
+
+    def test_wall_pressure_at_reference(self):
+        coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+        assert coupling.wall_pressure_pa(AttackConfig.paper_best()) == pytest.approx(
+            14.1, abs=0.2
+        )
+
+
+class TestGoldenBaselines:
+    """Quiescent performance anchors (analytic, from the profile)."""
+
+    def test_fio_baselines(self):
+        assert BARRACUDA_500GB.sequential_read_mbps() == pytest.approx(18.0, abs=0.05)
+        assert BARRACUDA_500GB.sequential_write_mbps() == pytest.approx(22.7, abs=0.05)
+
+    def test_revolution_time(self):
+        assert BARRACUDA_500GB.spindle.revolution_time_s * 1e3 == pytest.approx(
+            8.333, abs=0.001
+        )
+
+    def test_crash_horizon_constants(self):
+        # (1 + 2 retries) x 25 s host timeout = the 75 s failure budget
+        # behind Table 3's ~80 s crashes.
+        from repro.storage.block import BlockDevice
+        from repro.hdd.drive import HardDiskDrive
+
+        device = BlockDevice(HardDiskDrive())
+        budget = (1 + device.retries) * device.drive.profile.host_timeout_s
+        assert budget == 75.0
+
+
+class TestGoldenMeasurements:
+    """Seeded end-to-end measurements (default seed)."""
+
+    def test_table3_exact_times(self):
+        from repro.experiments.table3 import run_table3
+
+        result = run_table3(deadline_s=200.0)
+        times = {n: round(r.time_to_crash_s, 1) for n, r in result.reports.items()}
+        assert times == {"Ext4": 80.2, "Ubuntu": 81.0, "RocksDB": 81.3}
+
+    def test_range_profile_at_default_seed(self):
+        session = AttackSession(seed=None, fio_runtime_s=1.0)
+        result = session.range_test([0.10, 0.25])
+        ten, twenty_five = result.points
+        assert ten.write.throughput_mbps < 0.3
+        assert 12.0 < ten.read.throughput_mbps < 16.0
+        assert twenty_five.write.throughput_mbps == pytest.approx(22.7, abs=0.2)
+        assert twenty_five.read.throughput_mbps == pytest.approx(18.0, abs=0.2)

@@ -1,0 +1,117 @@
+"""Disk geometry, mechanics, and drive profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnitError
+from repro.hdd.geometry import DiskGeometry, Zone
+from repro.hdd.mechanics import SeekModel, SpindleMechanics
+from repro.hdd.profiles import BARRACUDA_500GB, make_barracuda_profile
+from repro.units import BLOCK_4K
+
+
+class TestZone:
+    def test_sector_count(self):
+        zone = Zone(first_track=0, track_count=100, sectors_per_track=500)
+        assert zone.sectors == 50_000
+        assert zone.last_track == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Zone(first_track=-1, track_count=10, sectors_per_track=100)
+        with pytest.raises(ConfigurationError):
+            Zone(first_track=0, track_count=0, sectors_per_track=100)
+
+
+class TestDiskGeometry:
+    def test_barracuda_capacity_near_500gb(self):
+        geometry = DiskGeometry.barracuda_500gb()
+        assert geometry.capacity_bytes == pytest.approx(500e9, rel=0.10)
+
+    def test_zones_must_tile(self):
+        with pytest.raises(ConfigurationError):
+            DiskGeometry([Zone(0, 10, 100), Zone(15, 10, 100)])
+
+    def test_locate_first_and_last(self):
+        geometry = DiskGeometry([Zone(0, 10, 100), Zone(10, 10, 50)])
+        assert geometry.locate(0) == (0, 0)
+        assert geometry.locate(999) == (9, 99)
+        assert geometry.locate(1000) == (10, 0)  # first sector of zone 2
+        assert geometry.total_sectors == 1500
+
+    def test_outer_zones_denser(self):
+        geometry = DiskGeometry.barracuda_500gb()
+        outer = geometry.sectors_per_track_at(0)
+        inner = geometry.sectors_per_track_at(geometry.total_sectors - 1)
+        assert outer > inner
+
+    def test_track_distance(self):
+        geometry = DiskGeometry([Zone(0, 100, 100)])
+        assert geometry.track_distance(0, 9_999) == 99
+        assert geometry.track_distance(50, 70) == 0
+
+    def test_lba_out_of_range(self):
+        geometry = DiskGeometry([Zone(0, 10, 100)])
+        with pytest.raises(UnitError):
+            geometry.locate(1000)
+
+
+class TestSpindle:
+    def test_7200rpm_revolution(self):
+        spindle = SpindleMechanics(rpm=7200.0)
+        assert spindle.revolution_time_s == pytest.approx(1 / 120.0)
+        assert spindle.average_rotational_latency_s == pytest.approx(1 / 240.0)
+
+    def test_sector_time(self):
+        spindle = SpindleMechanics(rpm=7200.0)
+        assert spindle.sector_time_s(1000) == pytest.approx(8.333e-6, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            SpindleMechanics(rpm=0.0)
+
+
+class TestSeekModel:
+    def test_zero_distance_is_free(self):
+        assert SeekModel().seek_time_s(0) == 0.0
+
+    def test_monotone_in_distance(self):
+        seek = SeekModel(total_tracks=600_000)
+        times = [seek.seek_time_s(d) for d in (1, 100, 10_000, 300_000, 599_999)]
+        assert times == sorted(times)
+
+    def test_full_stroke_bounded(self):
+        seek = SeekModel(total_tracks=600_000)
+        assert seek.seek_time_s(599_999) == pytest.approx(
+            seek.full_stroke_s + seek.settle_s, rel=1e-6
+        )
+
+    def test_average_seek_about_a_third_stroke(self):
+        seek = SeekModel(total_tracks=600_000)
+        assert seek.track_to_track_s < seek.average_seek_s < seek.full_stroke_s
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(UnitError):
+            SeekModel().seek_time_s(-1)
+
+
+class TestProfile:
+    def test_baseline_matches_paper_no_attack_rows(self):
+        profile = make_barracuda_profile()
+        assert profile.sequential_read_mbps() == pytest.approx(18.0, abs=0.1)
+        assert profile.sequential_write_mbps() == pytest.approx(22.7, abs=0.1)
+
+    def test_write_overhead_below_read(self):
+        # Write-back caching hides part of the write path.
+        assert BARRACUDA_500GB.write_overhead_s < BARRACUDA_500GB.read_overhead_s
+
+    def test_transfer_time_scales_with_size(self):
+        profile = BARRACUDA_500GB
+        assert profile.transfer_time_s(2 * BLOCK_4K) == pytest.approx(
+            2 * profile.transfer_time_s(BLOCK_4K)
+        )
+
+    def test_fresh_profiles_are_independent(self):
+        a = make_barracuda_profile()
+        b = make_barracuda_profile()
+        a.servo.head_gain = 99.0
+        assert b.servo.head_gain != 99.0

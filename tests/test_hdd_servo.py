@@ -1,0 +1,161 @@
+"""The servo fault model — the heart of the attack."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitError
+from repro.hdd.servo import OpKind, ServoSystem, VibrationInput
+from repro.hdd.shock import ShockSensor
+from repro.units import NM
+
+
+@pytest.fixture
+def servo():
+    return ServoSystem()
+
+
+def vibration_for_ratio(servo: ServoSystem, frequency_hz: float, ratio_of_write: float) -> VibrationInput:
+    """Build a chassis vibration giving an exact off-track/threshold ratio."""
+    target = ratio_of_write * servo.threshold_m(OpKind.WRITE)
+    mechanical = servo.hsa.response(frequency_hz) * servo.head_gain
+    displacement = target / (mechanical * servo.rejection(frequency_hz))
+    return VibrationInput(frequency_hz=frequency_hz, displacement_m=displacement)
+
+
+class TestThresholds:
+    def test_write_tighter_than_read(self, servo):
+        # Bolton et al.: reads tolerate more off-track than writes.
+        assert servo.threshold_m(OpKind.WRITE) < servo.threshold_m(OpKind.READ)
+
+    def test_servo_limit_beyond_read_threshold(self, servo):
+        assert servo.servo_limit_m > servo.threshold_m(OpKind.READ)
+
+    def test_thresholds_scale_with_pitch(self):
+        wide = ServoSystem(track_pitch_m=200 * NM)
+        narrow = ServoSystem(track_pitch_m=100 * NM)
+        assert wide.threshold_m(OpKind.WRITE) == pytest.approx(
+            2 * narrow.threshold_m(OpKind.WRITE)
+        )
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(UnitError):
+            ServoSystem(write_threshold_frac=0.2, read_threshold_frac=0.1)
+
+
+class TestRejection:
+    def test_rejects_low_frequencies_steeply(self, servo):
+        # 40+ dB/decade below the corner: this is the 300 Hz band edge.
+        assert servo.rejection(100.0) < servo.rejection(300.0) / 10
+
+    def test_passes_high_frequencies(self, servo):
+        assert servo.rejection(8000.0) > 0.9
+
+    def test_monotone(self, servo):
+        values = [servo.rejection(f) for f in (50, 100, 200, 400, 800, 1600, 3200)]
+        assert values == sorted(values)
+
+
+class TestOfftrack:
+    def test_zero_vibration_zero_excursion(self, servo):
+        assert servo.offtrack_amplitude_m(VibrationInput.none()) == 0.0
+
+    def test_excursion_linear_in_displacement(self, servo):
+        small = VibrationInput(650.0, 1 * NM)
+        large = VibrationInput(650.0, 10 * NM)
+        assert servo.offtrack_amplitude_m(large) == pytest.approx(
+            10 * servo.offtrack_amplitude_m(small)
+        )
+
+    def test_hsa_resonance_amplifies(self, servo):
+        # Same chassis motion, more excursion near the HSA modes than
+        # far above them.
+        near = servo.offtrack_amplitude_m(VibrationInput(650.0, 5 * NM))
+        far = servo.offtrack_amplitude_m(VibrationInput(6000.0, 5 * NM))
+        assert near > far
+
+
+class TestSuccessProbability:
+    def test_quiet_drive_always_succeeds(self, servo):
+        assert servo.success_probability(OpKind.WRITE, VibrationInput.none()) == 1.0
+        assert servo.success_probability(OpKind.READ, VibrationInput.none()) == 1.0
+
+    def test_stall_region_kills_everything(self, servo):
+        vibration = vibration_for_ratio(servo, 650.0, 5.0)
+        assert servo.is_stalled(vibration)
+        assert servo.success_probability(OpKind.WRITE, vibration) == 0.0
+        assert servo.success_probability(OpKind.READ, vibration) == 0.0
+
+    def test_writes_fail_before_reads(self, servo):
+        # Ratio 1.3x write threshold = 0.74x read threshold.
+        vibration = vibration_for_ratio(servo, 650.0, 1.3)
+        p_write = servo.success_probability(OpKind.WRITE, vibration)
+        p_read = servo.success_probability(OpKind.READ, vibration)
+        assert p_write < 0.5
+        assert p_read > 0.9
+
+    def test_probability_monotone_decreasing_in_amplitude(self, servo):
+        ratios = (0.5, 0.9, 1.1, 1.5, 2.0, 2.4)
+        probs = [
+            servo.success_probability(OpKind.WRITE, vibration_for_ratio(servo, 650.0, r))
+            for r in ratios
+        ]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_grazing_region_degrades_mildly(self, servo):
+        vibration = vibration_for_ratio(servo, 650.0, 0.9)
+        p = servo.success_probability(OpKind.WRITE, vibration)
+        assert 0.7 < p < 1.0
+
+    def test_below_grazing_onset_is_clean(self, servo):
+        vibration = vibration_for_ratio(servo, 650.0, 0.5)
+        assert servo.success_probability(OpKind.WRITE, vibration) == 1.0
+
+    def test_window_model_frequency_dependence(self, servo):
+        # At fixed A/T, lower frequencies leave longer on-track windows,
+        # so writes succeed more often.
+        slow = servo.success_probability(
+            OpKind.WRITE, vibration_for_ratio(servo, 350.0, 1.5)
+        )
+        fast = servo.success_probability(
+            OpKind.WRITE, vibration_for_ratio(servo, 1400.0, 1.5)
+        )
+        assert slow > fast
+
+    def test_window_probability_bounds(self):
+        p = ServoSystem._window_probability(2.0, 1.0, 650.0, 0.0003)
+        assert 0.0 <= p <= 1.0
+
+
+class TestVibrationInput:
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            VibrationInput(frequency_hz=0.0, displacement_m=1e-9)
+        with pytest.raises(UnitError):
+            VibrationInput(frequency_hz=100.0, displacement_m=-1e-9)
+
+    def test_none_is_quiet(self):
+        assert VibrationInput.none().displacement_m == 0.0
+
+
+class TestShockSensor:
+    def test_audible_band_does_not_trigger(self):
+        sensor = ShockSensor()
+        # Even a huge audible vibration: acceleration at 650 Hz of
+        # 100 nm is (2 pi 650)^2 * 1e-7 ~ 1.7 m/s^2, far below 300.
+        assert not sensor.is_triggered(VibrationInput(650.0, 100 * NM))
+
+    def test_ultrasonic_resonance_triggers(self):
+        sensor = ShockSensor()
+        # Near the MEMS resonance the proof mass over-reads by Q.
+        vibration = VibrationInput(28_000.0, 1.2e-9)
+        assert sensor.sensed_acceleration_ms2(vibration) > sensor.trigger_acceleration_ms2
+
+    def test_magnification_capped_at_q(self):
+        sensor = ShockSensor()
+        on_res = sensor.sensed_acceleration_ms2(VibrationInput(28_000.0, 1e-9))
+        true_accel = (2 * math.pi * 28_000.0) ** 2 * 1e-9
+        assert on_res <= sensor.resonance_q * true_accel * 1.01
+
+    def test_quiet_is_untriggered(self):
+        assert not ShockSensor().is_triggered(VibrationInput.none())

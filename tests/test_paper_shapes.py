@@ -1,0 +1,143 @@
+"""Acceptance criteria: the paper's qualitative shapes must hold.
+
+These are the integration tests of the whole reproduction — each one
+asserts a claim the paper makes, against the full simulated stack.
+They use short measurement windows to stay fast; the benchmarks under
+``benchmarks/`` run the full-size versions.
+"""
+
+import pytest
+
+from repro.core.attack import AttackSession
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.scenario import Scenario
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+from repro.experiments.paper_data import TABLE3_PAPER
+
+
+@pytest.fixture(scope="module")
+def short_sweep():
+    """One sweep per scenario over a compact grid (module-scoped: slow)."""
+    frequencies = [100.0, 200.0, 300.0, 400.0, 650.0, 1000.0, 1300.0, 1700.0, 2500.0, 8000.0]
+    sweeps = {}
+    for scenario in Scenario.all_three():
+        session = AttackSession(
+            coupling=AttackCoupling.paper_setup(scenario), fio_runtime_s=0.3
+        )
+        sweeps[scenario.name] = session.frequency_sweep(frequencies)
+    return sweeps
+
+
+class TestFigure2Shapes:
+    def test_zero_throughput_inside_band_all_scenarios(self, short_sweep):
+        # Shape 1: at 1 cm / 140 dB the band's core is a dead zone.
+        for sweep in short_sweep.values():
+            by_freq = {p.frequency_hz: p for p in sweep.points}
+            assert by_freq[650.0].write_mbps < 1.0
+            assert by_freq[1000.0].write_mbps < 1.0
+
+    def test_no_effect_well_outside_band(self, short_sweep):
+        for sweep in short_sweep.values():
+            by_freq = {p.frequency_hz: p for p in sweep.points}
+            assert by_freq[100.0].write_mbps > 20.0
+            assert by_freq[8000.0].write_mbps > 20.0
+            assert by_freq[100.0].read_mbps > 17.0
+
+    def test_band_starts_near_300hz(self, short_sweep):
+        for sweep in short_sweep.values():
+            band = sweep.vulnerable_band(0.5, "write")
+            assert band is not None
+            assert band[0] <= 400.0
+            by_freq = {p.frequency_hz: p for p in sweep.points}
+            assert by_freq[200.0].write_mbps > 15.0
+
+    def test_metal_band_narrower_than_plastic_at_top(self, short_sweep):
+        plastic = short_sweep["Scenario 2"].vulnerable_band(0.5, "write")
+        metal = short_sweep["Scenario 3"].vulnerable_band(0.5, "write")
+        assert metal[1] < plastic[1]
+
+    def test_metal_read_band_narrower_than_its_write_band(self, short_sweep):
+        metal = short_sweep["Scenario 3"]
+        write_band = metal.vulnerable_band(0.5, "write")
+        read_band = metal.vulnerable_band(0.5, "read")
+        assert read_band[1] <= write_band[1]
+
+    def test_writes_always_hurt_at_least_as_much_as_reads(self, short_sweep):
+        for sweep in short_sweep.values():
+            for point in sweep.points:
+                write_loss = 1.0 - point.write_mbps / sweep.baseline_write_mbps
+                read_loss = 1.0 - point.read_mbps / sweep.baseline_read_mbps
+                assert write_loss >= read_loss - 0.1
+
+
+class TestTable1Shapes:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(fio_runtime_s=0.5)
+
+    def test_baseline_matches_paper(self, table1):
+        base = table1.range_test.baseline
+        assert base.read.throughput_mbps == pytest.approx(18.0, abs=0.4)
+        assert base.write.throughput_mbps == pytest.approx(22.7, abs=0.4)
+
+    def test_no_response_at_1_and_5_cm(self, table1):
+        points = {round(p.distance_m * 100): p for p in table1.range_test.points}
+        for cm in (1, 5):
+            assert not points[cm].read.responded
+            assert not points[cm].write.responded
+
+    def test_partial_at_10cm_writes_worse_than_reads(self, table1):
+        points = {round(p.distance_m * 100): p for p in table1.range_test.points}
+        ten = points[10]
+        assert ten.write.throughput_mbps < 1.0
+        assert 8.0 < ten.read.throughput_mbps < 18.0
+
+    def test_write_only_loss_at_15cm(self, table1):
+        points = {round(p.distance_m * 100): p for p in table1.range_test.points}
+        fifteen = points[15]
+        assert fifteen.write.throughput_mbps < 8.0
+        assert fifteen.read.throughput_mbps > 16.0
+
+    def test_recovered_by_20_25cm(self, table1):
+        points = {round(p.distance_m * 100): p for p in table1.range_test.points}
+        for cm in (20, 25):
+            assert points[cm].write.throughput_mbps > 19.0
+            assert points[cm].read.throughput_mbps > 17.0
+
+    def test_latency_dash_in_no_response_regime(self, table1):
+        points = {round(p.distance_m * 100): p for p in table1.range_test.points}
+        assert points[1].write.avg_latency_ms is None
+        assert points[25].write.avg_latency_ms == pytest.approx(0.2, abs=0.1)
+
+
+class TestTable3Shapes:
+    @pytest.fixture(scope="class")
+    def table3(self):
+        return run_table3(deadline_s=200.0)
+
+    def test_all_three_victims_crash(self, table3):
+        assert all(report is not None for report in table3.reports.values())
+
+    def test_crash_times_near_80s(self, table3):
+        for name, report in table3.reports.items():
+            paper = TABLE3_PAPER[name]
+            assert report.time_to_crash_s == pytest.approx(paper, abs=5.0)
+
+    def test_crash_ordering_matches_paper(self, table3):
+        times = {n: r.time_to_crash_s for n, r in table3.reports.items()}
+        assert times["Ext4"] <= times["Ubuntu"] <= times["RocksDB"]
+
+    def test_error_signatures(self, table3):
+        assert "error -5" in table3.reports["Ext4"].error_output
+        assert "Kernel panic" in table3.reports["Ubuntu"].error_output
+        assert "sync_without_flush" in table3.reports["RocksDB"].error_output
+
+    def test_average_near_paper(self, table3):
+        assert table3.average_time_to_crash_s() == pytest.approx(80.8, abs=3.0)
+
+    def test_render_includes_rows(self, table3):
+        rendered = table3.render()
+        for name in ("Ext4", "Ubuntu", "RocksDB"):
+            assert name in rendered

@@ -1,0 +1,138 @@
+"""Property-based tests: core data structures behave like their models."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.rng import make_rng
+from repro.storage.kv.bloom import BloomFilter
+from repro.storage.kv.memtable import VALUE, MemTable, decode_internal_key, encode_internal_key
+from repro.storage.kv.skiplist import SkipList
+from repro.storage.kv.db import WriteBatch
+
+keys = st.binary(min_size=1, max_size=24)
+values = st.binary(max_size=48)
+
+_settings = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestSkipListModel:
+    @given(ops=st.lists(st.tuples(keys, values), max_size=120))
+    @_settings
+    def test_matches_dict_semantics(self, ops):
+        sl = SkipList(make_rng(1).fork("prop"))
+        model = {}
+        for key, value in ops:
+            sl.insert(key, value)
+            model[key] = value
+        assert len(sl) == len(model)
+        for key, value in model.items():
+            assert sl.get(key) == value
+        assert [k for k, _ in sl.items()] == sorted(model)
+
+    @given(
+        inserts=st.lists(keys, min_size=1, max_size=60, unique=True),
+        data=st.data(),
+    )
+    @_settings
+    def test_delete_removes_exactly_one_key(self, inserts, data):
+        sl = SkipList(make_rng(2).fork("prop"))
+        for key in inserts:
+            sl.insert(key, key)
+        victim = data.draw(st.sampled_from(inserts))
+        assert sl.delete(victim)
+        assert sl.get(victim) is None
+        survivors = sorted(k for k in inserts if k != victim)
+        assert [k for k, _ in sl.items()] == survivors
+
+    @given(st.lists(st.tuples(keys, values), max_size=80), keys)
+    @_settings
+    def test_items_from_respects_bound(self, ops, bound):
+        sl = SkipList(make_rng(3).fork("prop"))
+        for key, value in ops:
+            sl.insert(key, value)
+        tail = [k for k, _ in sl.items_from(bound)]
+        assert all(k >= bound for k in tail)
+        expected = sorted(k for k in {k for k, _ in ops} if k >= bound)
+        assert tail == expected
+
+
+class TestBloomModel:
+    @given(st.lists(keys, min_size=1, max_size=200, unique=True))
+    @_settings
+    def test_never_false_negative(self, key_list):
+        bloom = BloomFilter.for_keys(key_list)
+        assert all(bloom.may_contain(k) for k in key_list)
+
+    @given(st.lists(keys, min_size=1, max_size=100, unique=True))
+    @_settings
+    def test_serialization_preserves_answers(self, key_list):
+        bloom = BloomFilter.for_keys(key_list)
+        clone = BloomFilter.from_bytes(bloom.to_bytes())
+        probes = key_list + [k + b"\x00" for k in key_list]
+        assert [bloom.may_contain(p) for p in probes] == [
+            clone.may_contain(p) for p in probes
+        ]
+
+
+class TestInternalKeyModel:
+    @given(keys, st.integers(min_value=0, max_value=(1 << 56) - 1))
+    @_settings
+    def test_roundtrip(self, user_key, sequence):
+        assert decode_internal_key(encode_internal_key(user_key, sequence)) == (
+            user_key,
+            sequence,
+        )
+
+    @given(keys, st.integers(0, 1 << 40), st.integers(1, 1 << 20))
+    @_settings
+    def test_newer_sorts_before_older_same_key(self, user_key, sequence, delta):
+        newer = encode_internal_key(user_key, sequence + delta)
+        older = encode_internal_key(user_key, sequence)
+        assert newer < older
+
+
+class TestMemTableModel:
+    @given(st.lists(st.tuples(keys, values), min_size=1, max_size=80))
+    @_settings
+    def test_latest_write_wins(self, ops):
+        table = MemTable(make_rng(4).fork("prop"))
+        model = {}
+        for sequence, (key, value) in enumerate(ops, start=1):
+            table.add(sequence, VALUE, key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert table.get(key) == (VALUE, value)
+
+    @given(st.lists(st.tuples(keys, values), min_size=2, max_size=50))
+    @_settings
+    def test_snapshot_isolation(self, ops):
+        table = MemTable(make_rng(5).fork("prop"))
+        half = len(ops) // 2
+        model_at_snapshot = {}
+        for sequence, (key, value) in enumerate(ops, start=1):
+            table.add(sequence, VALUE, key, value)
+            if sequence <= half:
+                model_at_snapshot[key] = value
+        for key, value in model_at_snapshot.items():
+            found = table.get(key, snapshot=half)
+            assert found == (VALUE, value)
+
+
+class TestWriteBatchModel:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), keys, values),
+            max_size=40,
+        )
+    )
+    @_settings
+    def test_encode_decode_roundtrip(self, ops):
+        batch = WriteBatch()
+        for is_delete, key, value in ops:
+            if is_delete:
+                batch.delete(key)
+            else:
+                batch.put(key, value)
+        assert WriteBatch.decode(batch.encode()).ops == batch.ops

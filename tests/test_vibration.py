@@ -1,0 +1,205 @@
+"""Materials, wall transmission, modes, enclosures, mounts."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, UnitError
+from repro.vibration.enclosure import Enclosure
+from repro.vibration.materials import ALUMINUM, DAMPING_POLYMER, HARD_PLASTIC, STEEL, Material
+from repro.vibration.modes import ModalResponse, VibrationMode
+from repro.vibration.mount import DirectPlacement, Mount, StorageTower
+from repro.vibration.transmission import (
+    PanelWall,
+    intensity_transmission_coefficient,
+    mass_law_tl_db,
+    pressure_transmission_coefficient,
+)
+
+
+class TestMaterials:
+    def test_surface_density(self):
+        assert ALUMINUM.surface_density(0.003) == pytest.approx(8.1)
+
+    def test_bending_stiffness_grows_cubically(self):
+        thin = HARD_PLASTIC.bending_stiffness(0.002)
+        thick = HARD_PLASTIC.bending_stiffness(0.004)
+        assert thick == pytest.approx(8.0 * thin)
+
+    def test_aluminum_much_stiffer_than_plastic(self):
+        assert ALUMINUM.youngs_modulus > 20 * HARD_PLASTIC.youngs_modulus
+
+    def test_damping_polymer_is_lossy(self):
+        assert DAMPING_POLYMER.loss_factor > 5 * HARD_PLASTIC.loss_factor
+
+    def test_longitudinal_speed(self):
+        # Aluminum: ~5000 m/s bar velocity.
+        assert ALUMINUM.longitudinal_speed() == pytest.approx(5055.0, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(UnitError):
+            Material("bad", -1.0, 1e9)
+        with pytest.raises(UnitError):
+            Material("bad", 1000.0, 1e9, poisson_ratio=0.7)
+
+
+class TestTransmissionCoefficients:
+    def test_matched_impedance_transmits_fully(self):
+        assert intensity_transmission_coefficient(1e6, 1e6) == pytest.approx(1.0)
+
+    def test_water_to_air_is_tiny(self):
+        t = intensity_transmission_coefficient(1.48e6, 413.0)
+        assert t < 0.002
+
+    def test_intensity_is_symmetric(self):
+        assert intensity_transmission_coefficient(1e6, 400.0) == pytest.approx(
+            intensity_transmission_coefficient(400.0, 1e6)
+        )
+
+    def test_pressure_coefficient_can_exceed_unity(self):
+        # Entering a stiffer medium doubles the pressure at the limit.
+        assert pressure_transmission_coefficient(400.0, 1.48e6) == pytest.approx(2.0, abs=0.01)
+
+    def test_mass_law_nearly_transparent_in_water(self):
+        # The reproduction's point: thin walls give almost no protection
+        # underwater, unlike in air.
+        in_water = mass_law_tl_db(1000.0, 4.5, 1.48e6)
+        in_air = mass_law_tl_db(1000.0, 4.5, 413.0)
+        assert in_water < 0.1
+        assert in_air > 25.0
+
+    def test_mass_law_rises_with_frequency(self):
+        assert mass_law_tl_db(8000.0, 4.5, 413.0) > mass_law_tl_db(1000.0, 4.5, 413.0)
+
+
+class TestPanelWall:
+    def test_water_loading_dominates_effective_mass(self):
+        wall = PanelWall(material=HARD_PLASTIC, thickness_m=0.004)
+        assert wall.added_mass > 10 * wall.surface_density
+
+    def test_water_loading_lowers_fundamental(self):
+        wall = PanelWall(material=HARD_PLASTIC, thickness_m=0.004)
+        dry = PanelWall(
+            material=HARD_PLASTIC, thickness_m=0.004, fluid_density=1e-6, fluid_impedance=413.0
+        )
+        assert wall.fundamental_frequency_hz < dry.fundamental_frequency_hz
+
+    def test_displacement_falls_mass_controlled_above_resonance(self):
+        wall = PanelWall(material=HARD_PLASTIC, thickness_m=0.004)
+        d650 = wall.displacement_per_pascal(650.0)
+        d1300 = wall.displacement_per_pascal(1300.0)
+        # ~12 dB/octave: one octave up, ~4x less displacement.
+        assert d650 / d1300 == pytest.approx(4.0, rel=0.2)
+
+    def test_velocity_is_omega_times_displacement(self):
+        wall = PanelWall(material=ALUMINUM, thickness_m=0.003)
+        f = 650.0
+        assert wall.velocity_per_pascal(f) == pytest.approx(
+            2 * math.pi * f * wall.displacement_per_pascal(f)
+        )
+
+    def test_airborne_path_is_heavily_attenuated(self):
+        wall = PanelWall(material=HARD_PLASTIC, thickness_m=0.004)
+        assert wall.airborne_tl_db(650.0) > 25.0
+
+
+class TestModes:
+    def test_mode_peaks_at_resonance(self):
+        mode = VibrationMode(frequency_hz=500.0, damping_ratio=0.1)
+        assert mode.response(500.0) > mode.response(250.0)
+        assert mode.response(500.0) > mode.response(1000.0)
+
+    def test_peak_response_matches_formula(self):
+        mode = VibrationMode(frequency_hz=500.0, damping_ratio=0.1, gain=2.0)
+        expected = 2.0 / (2 * 0.1 * math.sqrt(1 - 0.01))
+        assert mode.peak_response == pytest.approx(expected)
+
+    def test_overdamped_mode_has_no_peak(self):
+        mode = VibrationMode(frequency_hz=500.0, damping_ratio=0.9)
+        assert mode.peak_response == mode.gain
+
+    def test_modal_sum_in_quadrature(self):
+        response = ModalResponse(
+            [VibrationMode(500.0, 0.2, 1.0), VibrationMode(500.0, 0.2, 1.0)]
+        )
+        single = VibrationMode(500.0, 0.2, 1.0).response(500.0)
+        assert response.response(500.0) == pytest.approx(single * math.sqrt(2.0))
+
+    def test_band_above_finds_resonant_interval(self):
+        response = ModalResponse([VibrationMode(500.0, 0.1, 1.0)])
+        bands = response.band_above(2.0, 100.0, 2000.0)
+        assert len(bands) == 1
+        low, high = bands[0]
+        assert low < 500.0 < high
+
+    def test_peak_scan(self):
+        response = ModalResponse.head_stack_assembly()
+        freq, _ = response.peak(100.0, 4000.0)
+        assert 300.0 < freq < 1500.0
+
+    def test_empty_modal_response_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModalResponse([])
+
+    def test_mode_validation(self):
+        with pytest.raises(UnitError):
+            VibrationMode(0.0)
+        with pytest.raises(UnitError):
+            VibrationMode(100.0, damping_ratio=1.5)
+
+
+class TestEnclosure:
+    def test_factories_use_paper_materials(self):
+        assert Enclosure.hard_plastic().material is HARD_PLASTIC
+        assert Enclosure.aluminum().material is ALUMINUM
+        assert Enclosure.natick_vessel().material is STEEL
+
+    def test_stiffness_rolloff_attenuates_high_frequencies(self):
+        enclosure = Enclosure.aluminum()
+        plain = enclosure.frame_displacement_per_pascal(2000.0)
+        enclosure.stiffness_rolloff_hz = 700.0
+        rolled = enclosure.frame_displacement_per_pascal(2000.0)
+        assert rolled < plain / 5
+
+    def test_structural_gain_scales_linearly(self):
+        enclosure = Enclosure.hard_plastic()
+        base = enclosure.frame_displacement_per_pascal(650.0)
+        enclosure.structural_gain = 2.0
+        assert enclosure.frame_displacement_per_pascal(650.0) == pytest.approx(2 * base)
+
+    def test_airborne_tl_reported(self):
+        assert Enclosure.hard_plastic().airborne_tl_db(650.0) > 20.0
+
+    def test_bad_rolloff_rejected(self):
+        from repro.vibration.transmission import PanelWall
+
+        with pytest.raises(UnitError):
+            Enclosure(
+                name="bad",
+                wall=PanelWall(material=HARD_PLASTIC, thickness_m=0.004),
+                stiffness_rolloff_hz=-1.0,
+            )
+
+
+class TestMounts:
+    def test_direct_placement_near_unity_coupling(self):
+        mount = DirectPlacement()
+        assert 0.5 < mount.transmissibility(300.0) < 2.0
+
+    def test_tower_amplifies_near_its_modes(self):
+        tower = StorageTower(bay=1)
+        assert tower.transmissibility(480.0) > tower.transmissibility(3000.0)
+
+    def test_higher_bays_couple_more(self):
+        low = StorageTower(bay=0)
+        high = StorageTower(bay=4)
+        assert high.transmissibility(650.0) > low.transmissibility(650.0)
+
+    def test_bay_bounds(self):
+        with pytest.raises(UnitError):
+            StorageTower(bay=5)
+
+    def test_plain_mount_without_modes_is_flat(self):
+        mount = Mount(base_gain=1.5)
+        assert mount.transmissibility(100.0) == 1.5
+        assert mount.transmissibility(5000.0) == 1.5

@@ -1,0 +1,116 @@
+"""Write-back cache semantics, including attack interaction."""
+
+import pytest
+
+from repro.core.attacker import AttackConfig
+from repro.errors import BlockIOError, ConfigurationError
+from repro.storage.cache import WriteBackCache
+from repro.units import BLOCK_4K
+
+
+def payload(byte):
+    return bytes([byte % 256]) * BLOCK_4K
+
+
+@pytest.fixture
+def cache(device):
+    return WriteBackCache(device, capacity_blocks=64, dirty_high_watermark=0.5)
+
+
+class TestCaching:
+    def test_write_then_read_hits_cache(self, cache):
+        cache.write_block(3, payload(3))
+        assert cache.read_block(3) == payload(3)
+        assert cache.stats.read_hits == 1
+        assert cache.stats.read_misses == 0
+
+    def test_absorbed_write_is_nearly_free(self, cache):
+        before = cache.clock.now
+        cache.write_block(0, payload(0))
+        # Microseconds, not the ~0.18 ms media write.
+        assert cache.clock.now - before < 1e-4
+
+    def test_flush_destages_to_device(self, cache, device):
+        cache.write_block(7, payload(7))
+        assert cache.dirty_blocks == 1
+        cache.flush()
+        assert cache.dirty_blocks == 0
+        assert device.read_block(7) == payload(7)
+
+    def test_read_miss_fills_cache(self, cache, device):
+        device.write_block(9, payload(9))
+        assert cache.read_block(9) == payload(9)
+        assert cache.stats.read_misses == 1
+        cache.read_block(9)
+        assert cache.stats.read_hits == 1
+
+    def test_watermark_forces_destage(self, cache, device):
+        # Dirty limit is 32 of 64: writing past it must destage.
+        for i in range(40):
+            cache.write_block(i, payload(i))
+        assert cache.stats.destaged_blocks > 0
+        assert cache.dirty_blocks <= cache.dirty_limit
+
+    def test_lru_eviction_prefers_clean_blocks(self, cache, device):
+        for i in range(10):
+            device.write_block(100 + i, payload(i))
+            cache.read_block(100 + i)  # clean fill
+        for i in range(60):
+            cache.write_block(i, payload(i))
+        # Capacity respected.
+        assert len(cache._cache) <= cache.capacity_blocks
+
+    def test_validation(self, device):
+        with pytest.raises(ConfigurationError):
+            WriteBackCache(device, capacity_blocks=2)
+        with pytest.raises(ConfigurationError):
+            WriteBackCache(device, dirty_high_watermark=0.0)
+        cache = WriteBackCache(device)
+        with pytest.raises(ConfigurationError):
+            cache.write_block(0, b"short")
+
+
+class TestCacheUnderAttack:
+    def test_cache_hides_the_attack_briefly(self, cache, device, coupling):
+        coupling.apply(device.drive, AttackConfig.paper_best())
+        absorbed = 0
+        try:
+            for i in range(cache.dirty_limit - 1):
+                cache.write_block(i, payload(i))
+                absorbed += 1
+        except BlockIOError:  # pragma: no cover - should not happen yet
+            pass
+        # Every write below the watermark succeeded despite a dead drive.
+        assert absorbed == cache.dirty_limit - 1
+
+    def test_watermark_finally_exposes_the_attack(self, cache, device, coupling):
+        coupling.apply(device.drive, AttackConfig.paper_best())
+        with pytest.raises(BlockIOError):
+            for i in range(cache.dirty_limit + 4):
+                cache.write_block(i, payload(i))
+        assert cache.stats.destage_failures == 1
+
+    def test_flush_exposes_the_attack_immediately(self, cache, device, coupling):
+        cache.write_block(0, payload(0))
+        coupling.apply(device.drive, AttackConfig.paper_best())
+        with pytest.raises(BlockIOError):
+            cache.flush()
+
+    def test_crash_with_dirty_cache_loses_data(self, cache, device, coupling):
+        for i in range(10):
+            cache.write_block(i, payload(i))
+        coupling.apply(device.drive, AttackConfig.paper_best())
+        lost = cache.drop_dirty()
+        assert lost == 10
+        coupling.apply(device.drive, None)
+        # The platters never saw those writes.
+        assert device.read_block(0) == b"\x00" * BLOCK_4K
+
+    def test_recovery_after_attack_destages_cleanly(self, cache, device, coupling):
+        for i in range(5):
+            cache.write_block(i, payload(i))
+        coupling.apply(device.drive, AttackConfig.paper_best())
+        coupling.apply(device.drive, None)
+        cache.flush()
+        for i in range(5):
+            assert device.read_block(i) == payload(i)

@@ -1,0 +1,61 @@
+"""Calibration scan for the coupling-chain constants.
+
+Prints the predicted off-track excursion (as multiples of the write
+threshold, read threshold, and servo stall limit) across frequency for
+the three scenarios at 1 cm / 140 dB, and across distance at 650 Hz for
+Scenario 2 — the anchors described in repro/core/calibration.py.
+
+Run:  python tools/calibrate.py
+"""
+
+from __future__ import annotations
+
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.scenario import Scenario
+from repro.hdd.profiles import make_barracuda_profile
+
+
+def main() -> None:
+    from repro.hdd.servo import OpKind
+
+    profile = make_barracuda_profile()
+    servo = profile.servo
+    t_w = servo.threshold_m(OpKind.WRITE)
+    t_r = servo.threshold_m(OpKind.READ)
+    limit = servo.servo_limit_m
+    print(f"thresholds: write={t_w*1e9:.1f}nm read={t_r*1e9:.1f}nm stall={limit*1e9:.1f}nm")
+
+    print("\n== frequency scan at 1 cm / 140 dB ==")
+    header = f"{'freq':>7} " + "".join(
+        f"{name:>26}" for name in ("Scenario 1", "Scenario 2", "Scenario 3")
+    )
+    print(header + "   (A nm | A/Tw | A/stall)")
+    freqs = [100, 150, 200, 250, 300, 400, 500, 650, 800, 1000, 1200, 1300,
+             1500, 1700, 2000, 2500, 3000, 4000, 6000, 8000]
+    couplings = [AttackCoupling.paper_setup(s) for s in Scenario.all_three()]
+    for f in freqs:
+        cfg = AttackConfig(frequency_hz=f, source_level_db=140.0, distance_m=0.01)
+        cells = []
+        for coupling in couplings:
+            vib = coupling.vibration_at_drive(cfg)
+            a = servo.offtrack_amplitude_m(vib)
+            cells.append(f"{a*1e9:8.1f} {a/t_w:6.2f} {a/limit:6.2f}")
+        print(f"{f:7.0f} " + " |".join(cells))
+
+    print("\n== distance scan at 650 Hz, Scenario 2 ==")
+    coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+    for cm in (1, 5, 10, 15, 20, 25):
+        cfg = AttackConfig(frequency_hz=650.0, source_level_db=140.0, distance_m=cm / 100)
+        vib = coupling.vibration_at_drive(cfg)
+        a = servo.offtrack_amplitude_m(vib)
+        p_w = servo.success_probability(OpKind.WRITE, vib)
+        p_r = servo.success_probability(OpKind.READ, vib)
+        print(
+            f"{cm:3d} cm  A={a*1e9:7.1f} nm  A/Tw={a/t_w:5.2f}  A/Tr={a/t_r:5.2f} "
+            f" A/stall={a/limit:5.2f}  p_w={p_w:6.3f}  p_r={p_r:6.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

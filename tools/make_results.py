@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerate every artefact in results/ plus the full report.
+
+CI entry point: after this script, results/ contains the rendered
+figure, all tables, the ablations, the CSV series, and REPORT.md — all
+seeded, so the diff against the committed artefacts shows real
+behavioural change only.
+
+Run:  python tools/make_results.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="full-fidelity run")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    RESULTS.mkdir(exist_ok=True)
+    fio_runtime = 2.0 if args.full else 0.5
+    duration = 1.0 if args.full else 0.5
+
+    from repro.analysis.report import ReportOptions, build_report
+    from repro.experiments.ablations import (
+        run_defense_ablation,
+        run_drive_type_ablation,
+        run_material_ablation,
+        run_source_level_ablation,
+        run_water_conditions_ablation,
+    )
+    from repro.experiments.figure2 import run_figure2
+    from repro.experiments.objectives import run_objective_comparison
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+    from repro.experiments.table3 import run_table3
+
+    def save(name: str, text: str) -> None:
+        path = RESULTS / name
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {path}")
+
+    figure2 = run_figure2(fio_runtime_s=fio_runtime, seed=args.seed)
+    save("figure2.txt", figure2.render())
+    save("figure2_write.csv", figure2.to_csv("write"))
+    save("figure2_read.csv", figure2.to_csv("read"))
+
+    save("table1.txt", run_table1(fio_runtime_s=fio_runtime, seed=args.seed).render())
+    save("table2.txt", run_table2(duration_s=duration, seed=args.seed).render())
+    save("table3.txt", run_table3(deadline_s=200.0).render())
+
+    save("ablation_material.txt", run_material_ablation().render())
+    save("ablation_source_level.txt", run_source_level_ablation().render())
+    save("ablation_water.txt", run_water_conditions_ablation().render())
+    save("ablation_defense.txt", run_defense_ablation().render())
+    save("ablation_drive_type.txt", run_drive_type_ablation().render())
+
+    *_, objective_table = run_objective_comparison(total_s=260.0, seed=args.seed)
+    save("objectives.txt", objective_table.render())
+
+    save(
+        "REPORT.md",
+        build_report(ReportOptions(quick=not args.full, seed=args.seed)),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
