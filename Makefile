@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke lint bench
+
+test:       ## full test suite
+	$(PYTHON) -m pytest -q
+
+smoke:      ## quick CI gate: everything but the full campaign runs
+	$(PYTHON) -m pytest -q -m "not slow"
+
+lint:       ## ruff if installed, else pyflakes, else a syntax check
+	$(PYTHON) tools/lint.py
+
+bench:      ## paper-scale benchmarks (writes results/*.txt)
+	$(PYTHON) -m pytest -q benchmarks

@@ -1,0 +1,77 @@
+"""The campaign runner: parallel identity and cache speedup.
+
+Demonstrates the two runtime acceptance criteria at benchmark scale:
+a parallel Figure 2 run is byte-identical to the sequential one, and a
+warm-cache re-run finishes in well under half the cold wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.scenario import Scenario
+from repro.experiments.figure2 import run_figure2
+from repro.runtime import ResultCache, SweepRunner
+
+from conftest import save_result
+
+GRID = [300.0, 650.0, 1000.0, 1300.0, 1700.0, 3000.0]
+
+
+def test_parallel_identity(benchmark):
+    """``--workers 4`` reproduces the sequential CSV byte for byte."""
+    serial = run_figure2(frequencies_hz=GRID, fio_runtime_s=0.3, seed=7)
+
+    def parallel_run():
+        return run_figure2(frequencies_hz=GRID, fio_runtime_s=0.3, seed=7, workers=4)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    assert parallel.to_csv("write") == serial.to_csv("write")
+    assert parallel.to_csv("read") == serial.to_csv("read")
+    benchmark.extra_info["points"] = len(GRID) * len(serial.sweeps)
+
+
+def test_warm_cache_halves_wall_time(benchmark, tmp_path, results_dir):
+    """A memoized re-run must cost less than half the cold run."""
+    scenarios = Scenario.all_three()
+
+    t0 = time.perf_counter()
+    cold = run_figure2(
+        frequencies_hz=GRID, scenarios=scenarios, fio_runtime_s=0.3, seed=7,
+        cache_dir=str(tmp_path),
+    )
+    cold_s = time.perf_counter() - t0
+
+    warm_cache = ResultCache(tmp_path)
+
+    def warm_run():
+        return run_figure2(
+            frequencies_hz=GRID, scenarios=scenarios, fio_runtime_s=0.3, seed=7,
+            runner=SweepRunner(cache=warm_cache),
+        )
+
+    t0 = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_s = time.perf_counter() - t0
+
+    assert warm.to_csv("write") == cold.to_csv("write")
+    assert warm_cache.stats.misses == 0
+    assert warm_s < cold_s / 2.0, (
+        f"warm {warm_s:.2f}s not under half of cold {cold_s:.2f}s"
+    )
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["warm_s"] = round(warm_s, 3)
+    benchmark.extra_info["speedup"] = round(cold_s / max(warm_s, 1e-9), 1)
+    save_result(
+        results_dir,
+        "runtime_cache",
+        (
+            "Campaign cache speedup (Figure 2 grid, 3 scenarios x "
+            f"{len(GRID)} points)\n"
+            f"  cold run: {cold_s:.2f} s\n"
+            f"  warm run: {warm_s:.2f} s ({cold_s / max(warm_s, 1e-9):.0f}x faster, "
+            f"{warm_cache.stats.hits} points from cache)"
+        ),
+    )

@@ -3,16 +3,23 @@
 Subcommands map one-to-one onto the paper's experiments plus the
 ablations::
 
-    deepnote figure2   [--runtime S] [--seed N]
-    deepnote table1    [--runtime S] [--seed N]
+    deepnote figure2   [--runtime S] [--seed N] [--workers N] [--cache-dir D] [--csv OP]
+    deepnote table1    [--runtime S] [--seed N] [--workers N] [--cache-dir D]
     deepnote table2    [--duration S] [--seed N]
     deepnote table3    [--deadline S]
     deepnote ablations [--which material|source|water|defense|drives|all]
+                       [--workers N] [--cache-dir D]
     deepnote predict   --frequency HZ --distance M [--level DB] [--scenario N]
     deepnote rack      [--bays N] [--frequency HZ] [--distance M] [--metal]
     deepnote smart     [--frequency HZ] [--distance M] [--runtime S]
     deepnote report    [--output PATH] [--full] [--seed N]
-    deepnote all       (the four paper experiments, in order)
+    deepnote all       [--workers N] [--cache-dir D]
+                       (the four paper experiments, in order)
+
+``--workers`` fans sweep points over a process pool (results are
+bit-identical to ``--workers 1``); ``--cache-dir`` memoizes measured
+points on disk so re-runs skip them; ``--progress`` reports points/s
+and ETA on stderr.
 """
 
 from __future__ import annotations
@@ -38,13 +45,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"deepnote {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers", type=int, default=1,
+            help="campaign worker processes (1 = sequential; results identical)",
+        )
+        command.add_argument(
+            "--cache-dir", default=None,
+            help="memoize measured points on disk; re-runs skip them",
+        )
+        command.add_argument(
+            "--progress", action="store_true",
+            help="report points/s and ETA on stderr",
+        )
+
     fig2 = sub.add_parser("figure2", help="throughput vs frequency, Scenarios 1-3")
     fig2.add_argument("--runtime", type=float, default=1.0, help="FIO seconds per point")
     fig2.add_argument("--seed", type=int, default=None)
+    fig2.add_argument(
+        "--csv", choices=("write", "read"), default=None,
+        help="emit the raw CSV series for one panel instead of the charts",
+    )
+    add_runner_flags(fig2)
 
     t1 = sub.add_parser("table1", help="FIO throughput/latency vs distance")
     t1.add_argument("--runtime", type=float, default=2.0, help="FIO seconds per distance")
     t1.add_argument("--seed", type=int, default=None)
+    add_runner_flags(t1)
 
     t2 = sub.add_parser("table2", help="RocksDB readwhilewriting vs distance")
     t2.add_argument("--duration", type=float, default=1.0, help="bench seconds per distance")
@@ -59,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("material", "source", "water", "defense", "drives", "all"),
         default="all",
     )
+    add_runner_flags(abl)
 
     pred = sub.add_parser("predict", help="predict attack effect without a workload")
     pred.add_argument("--frequency", type=float, required=True, help="tone Hz")
@@ -82,21 +110,40 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--full", action="store_true", help="full-fidelity run")
     report.add_argument("--seed", type=int, default=42)
 
-    sub.add_parser("all", help="run every experiment in paper order")
+    everything = sub.add_parser("all", help="run every experiment in paper order")
+    add_runner_flags(everything)
     return parser
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.figure2 import run_figure2
 
-    print(run_figure2(fio_runtime_s=args.runtime, seed=args.seed).render())
+    result = run_figure2(
+        fio_runtime_s=args.runtime,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=args.progress,
+    )
+    if args.csv is not None:
+        print(result.to_csv(op=args.csv), end="")
+    else:
+        print(result.render())
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import run_table1
 
-    print(run_table1(fio_runtime_s=args.runtime, seed=args.seed).render())
+    print(
+        run_table1(
+            fio_runtime_s=args.runtime,
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=args.progress,
+        ).render()
+    )
     return 0
 
 
@@ -123,12 +170,17 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         run_water_conditions_ablation,
     )
 
+    from repro.runtime import make_runner
+
+    runner = make_runner(
+        workers=args.workers, cache_dir=args.cache_dir, progress=args.progress
+    )
     runs = {
-        "material": run_material_ablation,
-        "source": run_source_level_ablation,
+        "material": lambda: run_material_ablation(runner=runner),
+        "source": lambda: run_source_level_ablation(runner=runner),
         "water": run_water_conditions_ablation,
         "defense": run_defense_ablation,
-        "drives": run_drive_type_ablation,
+        "drives": lambda: run_drive_type_ablation(runner=runner),
     }
     names = list(runs) if args.which == "all" else [args.which]
     for name in names:
@@ -225,10 +277,14 @@ def _cmd_all(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import run_table1
     from repro.experiments.table2 import run_table2
     from repro.experiments.table3 import run_table3
+    from repro.runtime import make_runner
 
-    print(run_figure2().render())
+    runner = make_runner(
+        workers=args.workers, cache_dir=args.cache_dir, progress=args.progress
+    )
+    print(run_figure2(runner=runner).render())
     print()
-    print(run_table1().render())
+    print(run_table1(runner=runner).render())
     print()
     print(run_table2().render())
     print()

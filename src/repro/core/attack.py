@@ -11,12 +11,19 @@ chain, and runs the paper's campaigns:
 * :meth:`sustained_attack` — Section 4.4 precursor: apply one tone for
   a fixed duration while a workload runs (crash campaigns build on this
   via :mod:`repro.core.monitor`).
+
+Every campaign point builds a fresh rig from a label-derived RNG fork,
+so points are pure functions of ``(coupling, config, point, seed)`` and
+independent of execution order.  The sweep methods accept a
+:class:`repro.runtime.SweepRunner` to exploit that: points fan out over
+a process pool and memoize on disk while staying bit-identical to a
+serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.hdd.drive import HardDiskDrive
@@ -29,12 +36,19 @@ from .attacker import AttackConfig
 from .coupling import AttackCoupling
 from .scenario import Scenario
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime import SweepRunner
+
 __all__ = [
     "SweepPoint",
     "FrequencySweepResult",
     "RangePoint",
     "RangeTestResult",
     "AttackSession",
+    "encode_sweep_point",
+    "decode_sweep_point",
+    "encode_range_point",
+    "decode_range_point",
 ]
 
 
@@ -67,14 +81,30 @@ class FrequencySweepResult:
             raise ConfigurationError("loss fraction must be in (0, 1]")
         baseline = self.baseline_write_mbps if op == "write" else self.baseline_read_mbps
         cutoff = (1.0 - loss_fraction) * baseline
-        hit = [
-            p.frequency_hz
-            for p in self.points
-            if (p.write_mbps if op == "write" else p.read_mbps) <= cutoff
+        ordered = sorted(self.points, key=lambda p: p.frequency_hz)
+        qualifies = [
+            (p.write_mbps if op == "write" else p.read_mbps) <= cutoff
+            for p in ordered
         ]
-        if not hit:
+        # Longest contiguous run of qualifying sweep points; a min/max
+        # over all hits would silently bridge disjoint dips.  Ties go to
+        # the wider band in hertz, then to the lower-frequency run.
+        best: "tuple[int, float, float, float] | None" = None  # count, span, low, high
+        run_start: Optional[int] = None
+        for index in range(len(ordered) + 1):
+            inside = index < len(ordered) and qualifies[index]
+            if inside and run_start is None:
+                run_start = index
+            elif not inside and run_start is not None:
+                low = ordered[run_start].frequency_hz
+                high = ordered[index - 1].frequency_hz
+                candidate = (index - run_start, high - low, low, high)
+                if best is None or (candidate[0], candidate[1]) > (best[0], best[1]):
+                    best = candidate
+                run_start = None
+        if best is None:
             return None
-        return min(hit), max(hit)
+        return best[2], best[3]
 
 
 @dataclass(frozen=True)
@@ -118,6 +148,146 @@ def _safe_ratio(value: float, baseline: float) -> float:
     return value / baseline if baseline > 0.0 else 1.0
 
 
+# --------------------------------------------------------------------------
+# Point serialization (for the on-disk result cache)
+# --------------------------------------------------------------------------
+
+
+def encode_sweep_point(point: SweepPoint) -> dict:
+    """JSON-safe dict for a :class:`SweepPoint`."""
+    return {
+        "frequency_hz": point.frequency_hz,
+        "write_mbps": point.write_mbps,
+        "read_mbps": point.read_mbps,
+    }
+
+
+def decode_sweep_point(payload: dict) -> SweepPoint:
+    """Inverse of :func:`encode_sweep_point`."""
+    return SweepPoint(
+        frequency_hz=payload["frequency_hz"],
+        write_mbps=payload["write_mbps"],
+        read_mbps=payload["read_mbps"],
+    )
+
+
+def _encode_fio_result(result: FioResult) -> dict:
+    job = result.job
+    return {
+        "job": {
+            "mode": job.mode.value,
+            "block_bytes": job.block_bytes,
+            "runtime_s": job.runtime_s,
+            "region_start_lba": job.region_start_lba,
+            "region_sectors": job.region_sectors,
+            "name": job.name,
+        },
+        "completed_ops": result.completed_ops,
+        "error_ops": result.error_ops,
+        "timeout_ops": result.timeout_ops,
+        "bytes_moved": result.bytes_moved,
+        "busy_time_s": result.busy_time_s,
+        "total_latency_s": result.total_latency_s,
+        "max_latency_s": result.max_latency_s,
+        "latencies_s": list(result.latencies_s),
+    }
+
+
+def _decode_fio_result(payload: dict) -> FioResult:
+    job_payload = payload["job"]
+    job = FioJob(
+        mode=IOMode(job_payload["mode"]),
+        block_bytes=job_payload["block_bytes"],
+        runtime_s=job_payload["runtime_s"],
+        region_start_lba=job_payload["region_start_lba"],
+        region_sectors=job_payload["region_sectors"],
+        name=job_payload["name"],
+    )
+    return FioResult(
+        job=job,
+        completed_ops=payload["completed_ops"],
+        error_ops=payload["error_ops"],
+        timeout_ops=payload["timeout_ops"],
+        bytes_moved=payload["bytes_moved"],
+        busy_time_s=payload["busy_time_s"],
+        total_latency_s=payload["total_latency_s"],
+        max_latency_s=payload["max_latency_s"],
+        latencies_s=list(payload["latencies_s"]),
+    )
+
+
+def encode_range_point(point: RangePoint) -> dict:
+    """JSON-safe dict for a :class:`RangePoint` (full FIO results)."""
+    return {
+        "distance_m": point.distance_m,
+        "read": _encode_fio_result(point.read),
+        "write": _encode_fio_result(point.write),
+    }
+
+
+def decode_range_point(payload: dict) -> RangePoint:
+    """Inverse of :func:`encode_range_point`."""
+    return RangePoint(
+        distance_m=payload["distance_m"],
+        read=_decode_fio_result(payload["read"]),
+        write=_decode_fio_result(payload["write"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# Picklable point specs + module-level jobs (what the worker pool runs)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SweepPointSpec:
+    """Everything a worker needs to re-measure one sweep frequency."""
+
+    coupling: AttackCoupling
+    config: AttackConfig
+    frequency_hz: float
+    seed: int
+    fio_runtime_s: float
+
+
+@dataclass(frozen=True)
+class _RangePointSpec:
+    """Everything a worker needs to re-measure one speaker distance.
+
+    ``distance_m`` of None marks the no-attack baseline row.
+    """
+
+    coupling: AttackCoupling
+    config: AttackConfig
+    distance_m: Optional[float]
+    seed: int
+    fio_runtime_s: float
+
+
+def _sweep_point_job(spec: _SweepPointSpec) -> SweepPoint:
+    """Measure one sweep frequency in a (possibly remote) fresh session."""
+    session = AttackSession(
+        coupling=spec.coupling, seed=spec.seed, fio_runtime_s=spec.fio_runtime_s
+    )
+    return session._sweep_point(spec.config, spec.frequency_hz)
+
+
+def _range_point_job(spec: _RangePointSpec) -> RangePoint:
+    """Measure one range distance (or the baseline) in a fresh session."""
+    session = AttackSession(
+        coupling=spec.coupling, seed=spec.seed, fio_runtime_s=spec.fio_runtime_s
+    )
+    return session._range_point(spec.config, spec.distance_m)
+
+
+def _baseline_point_job(spec: _RangePointSpec) -> SweepPoint:
+    """Measure the no-attack baseline in a fresh session."""
+    session = AttackSession(
+        coupling=spec.coupling, seed=spec.seed, fio_runtime_s=spec.fio_runtime_s
+    )
+    return session.baseline()
+
+
 class AttackSession:
     """A campaign against one scenario with a fresh victim drive."""
 
@@ -151,6 +321,58 @@ class AttackSession:
         job = FioJob(mode=mode, runtime_s=self.fio_runtime_s, name=mode.value)
         return tester.run(job)
 
+    # -- single points --------------------------------------------------------
+
+    def _sweep_point(self, base_config: AttackConfig, frequency: float) -> SweepPoint:
+        """One sweep frequency on a fresh rig, write then read."""
+        attack = base_config.at_frequency(frequency)
+        drive, tester = self._fresh_rig(f"sweep/{frequency:.1f}")
+        self.coupling.apply(drive, attack)
+        write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+        read = self._measure(drive, tester, IOMode.SEQ_READ)
+        return SweepPoint(frequency, write.throughput_mbps, read.throughput_mbps)
+
+    def _range_point(
+        self, base_config: AttackConfig, distance_m: Optional[float]
+    ) -> RangePoint:
+        """One range distance on a fresh rig, write then read.
+
+        ``distance_m`` of None measures the no-attack baseline with the
+        same rig discipline and operation order as every other point
+        (and as :meth:`baseline`), so Table 1 loss ratios compare like
+        with like.
+        """
+        if distance_m is None:
+            label, attack = "range/baseline", None
+        else:
+            label = f"range/{distance_m:.3f}"
+            attack = base_config.at_distance(distance_m)
+        drive, tester = self._fresh_rig(label)
+        self.coupling.apply(drive, attack)
+        write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+        read = self._measure(drive, tester, IOMode.SEQ_READ)
+        return RangePoint(
+            distance_m=0.0 if distance_m is None else distance_m,
+            read=read,
+            write=write,
+        )
+
+    # -- cache keys -----------------------------------------------------------
+
+    def _point_key(self, kind: str, config: Optional[AttackConfig]) -> str:
+        """Memoization key: (scenario/coupling, effective config, seed).
+
+        ``config`` is the *effective* per-point configuration (already
+        at its frequency/distance), or None for the no-attack baseline,
+        so equivalent points share an entry regardless of which base
+        config spawned them.
+        """
+        from repro.runtime import fingerprint
+
+        return fingerprint(
+            kind, self.coupling, config, self.rng.seed, self.fio_runtime_s
+        )
+
     # -- campaigns ------------------------------------------------------------
 
     def baseline(self) -> SweepPoint:
@@ -164,54 +386,126 @@ class AttackSession:
         self,
         frequencies_hz: Iterable[float],
         config: Optional[AttackConfig] = None,
-        progress: Optional[Callable[[float], None]] = None,
+        runner: "Optional[SweepRunner]" = None,
     ) -> FrequencySweepResult:
-        """Sweep the attack tone and measure read/write throughput."""
+        """Sweep the attack tone and measure read/write throughput.
+
+        With a :class:`~repro.runtime.SweepRunner` the points fan out
+        over its worker pool and memoize in its cache; results are
+        bit-identical to the serial path because every point seeds from
+        ``fork(f"sweep/{frequency}")`` off the session's root seed.
+        """
         base_config = config if config is not None else AttackConfig.paper_best()
-        base = self.baseline()
+        frequencies = list(frequencies_hz)
+        if runner is None:
+            base = self.baseline()
+            points = [self._sweep_point(base_config, f) for f in frequencies]
+        else:
+            base, points = self._run_sweep(runner, base_config, frequencies)
         result = FrequencySweepResult(
             scenario_name=self.coupling.scenario.name,
             baseline_write_mbps=base.write_mbps,
             baseline_read_mbps=base.read_mbps,
         )
-        for frequency in frequencies_hz:
-            if progress is not None:
-                progress(frequency)
-            attack = base_config.at_frequency(frequency)
-            drive, tester = self._fresh_rig(f"sweep/{frequency:.1f}")
-            self.coupling.apply(drive, attack)
-            write = self._measure(drive, tester, IOMode.SEQ_WRITE)
-            read = self._measure(drive, tester, IOMode.SEQ_READ)
-            result.points.append(
-                SweepPoint(frequency, write.throughput_mbps, read.throughput_mbps)
-            )
+        result.points.extend(points)
         return result
+
+    def _run_sweep(
+        self,
+        runner: "SweepRunner",
+        base_config: AttackConfig,
+        frequencies: List[float],
+    ) -> "tuple[SweepPoint, List[SweepPoint]]":
+        # The baseline rides along as a RangePointSpec with no attack so
+        # it memoizes too; SweepPoint keeps only the throughput numbers.
+        baseline_spec = _RangePointSpec(
+            coupling=self.coupling,
+            config=base_config,
+            distance_m=None,
+            seed=self.rng.seed,
+            fio_runtime_s=self.fio_runtime_s,
+        )
+        baseline = runner.map(
+            _baseline_point_job,
+            [baseline_spec],
+            keys=[self._point_key("baseline/v1", None)],
+            encode=encode_sweep_point,
+            decode=decode_sweep_point,
+            label=f"{self.coupling.scenario.name}: baseline",
+        )[0]
+        specs = [
+            _SweepPointSpec(
+                coupling=self.coupling,
+                config=base_config,
+                frequency_hz=frequency,
+                seed=self.rng.seed,
+                fio_runtime_s=self.fio_runtime_s,
+            )
+            for frequency in frequencies
+        ]
+        keys = [
+            self._point_key("sweep-point/v1", base_config.at_frequency(frequency))
+            for frequency in frequencies
+        ]
+        points = runner.map(
+            _sweep_point_job,
+            specs,
+            keys=keys,
+            encode=encode_sweep_point,
+            decode=decode_sweep_point,
+            label=f"{self.coupling.scenario.name}: frequency sweep",
+        )
+        return baseline, points
 
     def range_test(
         self,
         distances_m: Iterable[float],
         config: Optional[AttackConfig] = None,
+        runner: "Optional[SweepRunner]" = None,
     ) -> RangeTestResult:
-        """Step the speaker away from the enclosure at a fixed tone."""
+        """Step the speaker away from the enclosure at a fixed tone.
+
+        The baseline and every distance use the same discipline: a
+        fresh rig, sequential write measured before sequential read.
+        """
         base_config = config if config is not None else AttackConfig.paper_best()
-        drive, tester = self._fresh_rig("range/baseline")
-        baseline = RangePoint(
-            distance_m=0.0,
-            read=self._measure(drive, tester, IOMode.SEQ_READ),
-            write=self._measure(drive, tester, IOMode.SEQ_WRITE),
-        )
+        distances = list(distances_m)
+        if runner is None:
+            baseline = self._range_point(base_config, None)
+            points = [self._range_point(base_config, d) for d in distances]
+        else:
+            specs = [
+                _RangePointSpec(
+                    coupling=self.coupling,
+                    config=base_config,
+                    distance_m=distance,
+                    seed=self.rng.seed,
+                    fio_runtime_s=self.fio_runtime_s,
+                )
+                for distance in [None] + distances
+            ]
+            keys = [
+                self._point_key(
+                    "range-point/v1",
+                    None if distance is None else base_config.at_distance(distance),
+                )
+                for distance in [None] + distances
+            ]
+            measured = runner.map(
+                _range_point_job,
+                specs,
+                keys=keys,
+                encode=encode_range_point,
+                decode=decode_range_point,
+                label=f"{self.coupling.scenario.name}: range test",
+            )
+            baseline, points = measured[0], measured[1:]
         result = RangeTestResult(
             scenario_name=self.coupling.scenario.name,
             frequency_hz=base_config.frequency_hz,
             baseline=baseline,
         )
-        for distance in distances_m:
-            attack = base_config.at_distance(distance)
-            drive, tester = self._fresh_rig(f"range/{distance:.3f}")
-            self.coupling.apply(drive, attack)
-            read = self._measure(drive, tester, IOMode.SEQ_READ)
-            write = self._measure(drive, tester, IOMode.SEQ_WRITE)
-            result.points.append(RangePoint(distance, read, write))
+        result.points.extend(points)
         return result
 
     def sustained_attack(

@@ -83,6 +83,20 @@ class BlockIOError(ReproError, OSError):
 
 
 # --------------------------------------------------------------------------
+# Runtime (campaign runner) errors
+# --------------------------------------------------------------------------
+
+
+class WorkerCrashed(ReproError):
+    """A parallel campaign worker died without returning a result.
+
+    Raised by :class:`repro.runtime.SweepRunner` when the process pool
+    breaks (a worker was killed or segfaulted) so callers see a clean
+    error instead of a hung executor.
+    """
+
+
+# --------------------------------------------------------------------------
 # Filesystem errors
 # --------------------------------------------------------------------------
 

@@ -32,10 +32,11 @@ from repro.core.defenses import (
 )
 from repro.core.environment import UnderwaterEnvironment
 from repro.core.scenario import Scenario
-from repro.hdd.profiles import BARRACUDA_500GB
+from repro.hdd.profiles import BARRACUDA_500GB, DriveProfile
 from repro.hdd.servo import OpKind
+from repro.runtime import SweepRunner, fingerprint, make_runner
 from repro.vibration.enclosure import Enclosure
-from repro.vibration.materials import ACRYLIC, ALUMINUM, HARD_PLASTIC, STEEL, TITANIUM
+from repro.vibration.materials import ACRYLIC, ALUMINUM, HARD_PLASTIC, STEEL, TITANIUM, Material
 from repro.vibration.mount import StorageTower
 
 from .paper_data import ATTACK_LEVEL_DB, ATTACK_TONE_HZ
@@ -55,8 +56,121 @@ def _offtrack_ratio(coupling: AttackCoupling, config: AttackConfig, op: OpKind) 
     return servo.offtrack_amplitude_m(vibration) / servo.threshold_m(op)
 
 
+# --------------------------------------------------------------------------
+# Module-level row jobs (picklable, so ablation grids can fan out over a
+# SweepRunner worker pool and memoize like the measurement campaigns)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _MaterialRowSpec:
+    material: Material
+    frequencies_hz: "tuple[float, ...]"
+    soft: bool  # plastics keep raw coupling; metals get the penalty
+
+
+def _material_row_job(spec: _MaterialRowSpec) -> "List[str]":
+    from repro.vibration.transmission import PanelWall
+
+    wall = PanelWall(material=spec.material, thickness_m=0.004)
+    enclosure = Enclosure(name=spec.material.name, wall=wall)
+    if not spec.soft:
+        # Stiff metallic walls get the calibrated rolloff/penalty.
+        enclosure.structural_gain *= DEFAULT_CALIBRATION.metal_coupling_penalty
+        enclosure.stiffness_rolloff_hz = DEFAULT_CALIBRATION.metal_rolloff_hz
+    scenario = Scenario(name=spec.material.name, enclosure=enclosure, mount=StorageTower(bay=1))
+    coupling = AttackCoupling.paper_setup(scenario)
+    row = [spec.material.name]
+    for frequency in spec.frequencies_hz:
+        config = AttackConfig(frequency, ATTACK_LEVEL_DB, 0.01)
+        row.append(f"{_offtrack_ratio(coupling, config, OpKind.WRITE):.2f}")
+    return row
+
+
+@dataclass(frozen=True)
+class _SourceLevelSpec:
+    level_db: float
+
+
+def _source_level_job(spec: _SourceLevelSpec) -> "List[str]":
+    scenario = Scenario.scenario_2()
+    environment = UnderwaterEnvironment.open_water(WaterConditions.tank())
+    servo = BARRACUDA_500GB.servo
+    threshold = servo.threshold_m(OpKind.WRITE)
+    attacker = AcousticAttacker.military_rig()
+    coupling = AttackCoupling(environment=environment, scenario=scenario, attacker=attacker)
+
+    def ratio_at(distance: float) -> float:
+        config = AttackConfig(ATTACK_TONE_HZ, spec.level_db, distance)
+        vibration = coupling.vibration_at_drive(config)
+        return servo.offtrack_amplitude_m(vibration) / threshold
+
+    if ratio_at(0.01) < 1.0:
+        return [f"{spec.level_db:.0f}", "0 (ineffective)"]
+    low, high = 0.01, 100_000.0
+    if ratio_at(high) >= 1.0:
+        return [f"{spec.level_db:.0f}", f">{high:.0f}"]
+    for _ in range(200):
+        mid = math.sqrt(low * high)
+        if ratio_at(mid) >= 1.0:
+            low = mid
+        else:
+            high = mid
+    return [f"{spec.level_db:.0f}", f"{low:.2f}"]
+
+
+@dataclass(frozen=True)
+class _DriveRowSpec:
+    profile: DriveProfile
+    frequencies_hz: "tuple[float, ...]"
+
+
+def _drive_row_job(spec: _DriveRowSpec) -> "List[str]":
+    coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+    row = [spec.profile.name]
+    for frequency in spec.frequencies_hz:
+        config = AttackConfig(frequency, ATTACK_LEVEL_DB, 0.01)
+        vibration = coupling.vibration_at_drive(config)
+        ratio = spec.profile.servo.offtrack_amplitude_m(vibration) / spec.profile.servo.threshold_m(
+            OpKind.WRITE
+        )
+        row.append(f"{ratio:.2f}")
+    return row
+
+
+def _encode_row(row: "List[str]") -> dict:
+    return {"row": list(row)}
+
+
+def _decode_row(payload: dict) -> "List[str]":
+    return list(payload["row"])
+
+
+def _map_rows(
+    fn,
+    specs,
+    kind: str,
+    label: str,
+    workers: int,
+    cache_dir: Optional[str],
+    runner: "Optional[SweepRunner]",
+) -> "List[List[str]]":
+    """Run ablation row jobs through a runner (or inline when absent)."""
+    if runner is None:
+        runner = make_runner(workers=workers, cache_dir=cache_dir)
+    if runner is None:
+        return [fn(spec) for spec in specs]
+    keys = [fingerprint(kind, spec) for spec in specs]
+    return runner.map(
+        fn, specs, keys=keys, encode=_encode_row, decode=_decode_row, label=label
+    )
+
+
 def run_material_ablation(
     frequencies_hz: Sequence[float] = (300.0, 650.0, 1000.0, 1300.0, 1700.0, 2500.0),
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Table:
     """Predicted write off-track ratio per wall material and frequency.
 
@@ -69,27 +183,28 @@ def run_material_ablation(
         f"(1 cm, {ATTACK_LEVEL_DB:.0f} dB)",
         ["material"] + [f"{f:.0f} Hz" for f in frequencies_hz],
     )
-    for material in materials:
-        from repro.vibration.transmission import PanelWall
-
-        wall = PanelWall(material=material, thickness_m=0.004)
-        enclosure = Enclosure(name=material.name, wall=wall)
-        if material is not HARD_PLASTIC and material is not ACRYLIC:
-            # Stiff metallic walls get the calibrated rolloff/penalty.
-            enclosure.structural_gain *= DEFAULT_CALIBRATION.metal_coupling_penalty
-            enclosure.stiffness_rolloff_hz = DEFAULT_CALIBRATION.metal_rolloff_hz
-        scenario = Scenario(name=material.name, enclosure=enclosure, mount=StorageTower(bay=1))
-        coupling = AttackCoupling.paper_setup(scenario)
-        row = [material.name]
-        for frequency in frequencies_hz:
-            config = AttackConfig(frequency, ATTACK_LEVEL_DB, 0.01)
-            row.append(f"{_offtrack_ratio(coupling, config, OpKind.WRITE):.2f}")
+    specs = [
+        _MaterialRowSpec(
+            material=material,
+            frequencies_hz=tuple(frequencies_hz),
+            soft=material is HARD_PLASTIC or material is ACRYLIC,
+        )
+        for material in materials
+    ]
+    rows = _map_rows(
+        _material_row_job, specs, "material-row/v1", "ablation: materials",
+        workers, cache_dir, runner,
+    )
+    for row in rows:
         table.add_row(*row)
     return table
 
 
 def run_source_level_ablation(
     levels_db: Sequence[float] = (120.0, 130.0, 140.0, 160.0, 180.0, 200.0, 220.0),
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Table:
     """Maximum attack range vs. source level (Section 5, effective range).
 
@@ -102,33 +217,13 @@ def run_source_level_ablation(
         "Ablation: source level vs maximum effective range (650 Hz, Scenario 2 coupling)",
         ["source dB re 1 uPa", "max range (m)"],
     )
-    scenario = Scenario.scenario_2()
-    environment = UnderwaterEnvironment.open_water(WaterConditions.tank())
-    servo = BARRACUDA_500GB.servo
-    threshold = servo.threshold_m(OpKind.WRITE)
-    for level in levels_db:
-        attacker = AcousticAttacker.military_rig()
-        coupling = AttackCoupling(environment=environment, scenario=scenario, attacker=attacker)
-
-        def ratio_at(distance: float) -> float:
-            config = AttackConfig(ATTACK_TONE_HZ, level, distance)
-            vibration = coupling.vibration_at_drive(config)
-            return servo.offtrack_amplitude_m(vibration) / threshold
-
-        if ratio_at(0.01) < 1.0:
-            table.add_row(f"{level:.0f}", "0 (ineffective)")
-            continue
-        low, high = 0.01, 100_000.0
-        if ratio_at(high) >= 1.0:
-            table.add_row(f"{level:.0f}", f">{high:.0f}")
-            continue
-        for _ in range(200):
-            mid = math.sqrt(low * high)
-            if ratio_at(mid) >= 1.0:
-                low = mid
-            else:
-                high = mid
-        table.add_row(f"{level:.0f}", f"{low:.2f}")
+    specs = [_SourceLevelSpec(level_db=level) for level in levels_db]
+    rows = _map_rows(
+        _source_level_job, specs, "source-level-row/v1", "ablation: source level",
+        workers, cache_dir, runner,
+    )
+    for row in rows:
+        table.add_row(*row)
     return table
 
 
@@ -158,6 +253,9 @@ def run_water_conditions_ablation() -> Table:
 
 def run_drive_type_ablation(
     frequencies_hz: Sequence[float] = (300.0, 650.0, 1000.0, 1300.0, 1700.0),
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Table:
     """Different HDD types under the same attack (Section 5's question).
 
@@ -179,20 +277,19 @@ def run_drive_type_ablation(
         make_enterprise_profile(),
         make_ssd_like_profile(),
     ]
-    coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
     table = Table(
         "Ablation: HDD type vs predicted write off-track ratio (1 cm, 140 dB)",
         ["drive"] + [f"{f:.0f} Hz" for f in frequencies_hz],
     )
-    for profile in profiles:
-        row = [profile.name]
-        for frequency in frequencies_hz:
-            config = AttackConfig(frequency, ATTACK_LEVEL_DB, 0.01)
-            vibration = coupling.vibration_at_drive(config)
-            ratio = profile.servo.offtrack_amplitude_m(vibration) / profile.servo.threshold_m(
-                OpKind.WRITE
-            )
-            row.append(f"{ratio:.2f}")
+    specs = [
+        _DriveRowSpec(profile=profile, frequencies_hz=tuple(frequencies_hz))
+        for profile in profiles
+    ]
+    rows = _map_rows(
+        _drive_row_job, specs, "drive-row/v1", "ablation: drive types",
+        workers, cache_dir, runner,
+    )
+    for row in rows:
         table.add_row(*row)
     return table
 

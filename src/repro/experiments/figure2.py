@@ -17,6 +17,7 @@ from repro.core.attack import AttackSession, FrequencySweepResult
 from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
 from repro.core.scenario import Scenario
+from repro.runtime import SweepRunner, make_runner
 
 from .paper_data import ATTACK_LEVEL_DB
 
@@ -55,28 +56,53 @@ class Figure2Result:
             ]
         return out
 
+    def _row_frequencies(self) -> List[float]:
+        """Frequencies actually measured, joined across scenarios.
+
+        Rows come from each point's own ``frequency_hz`` rather than
+        positional indexing into ``self.frequencies_hz``: a sweep run on
+        a different grid must not shift (or crash) every row after the
+        mismatch.
+        """
+        seen = set()
+        for sweep in self.sweeps.values():
+            seen.update(p.frequency_hz for p in sweep.points)
+        return sorted(seen)
+
+    def _points_by_frequency(self) -> "Dict[str, Dict[float, object]]":
+        return {
+            name: {p.frequency_hz: p for p in sweep.points}
+            for name, sweep in self.sweeps.items()
+        }
+
     def to_csv(self, op: str = "write") -> str:
         """CSV of the series (freq + one column per scenario).
 
         For plotting outside the library (matplotlib, gnuplot, a
         spreadsheet); the benchmark harness archives the rendered text,
-        this gives downstream users the raw numbers.
+        this gives downstream users the raw numbers.  Scenarios missing
+        a frequency leave that cell empty.
         """
         names = list(self.sweeps)
+        by_freq = self._points_by_frequency()
         lines = ["frequency_hz," + ",".join(name.replace(" ", "_") for name in names)]
-        for i, freq in enumerate(self.frequencies_hz):
+        for freq in self._row_frequencies():
             cells = [f"{freq:.1f}"]
             for name in names:
-                point = self.sweeps[name].points[i]
-                cells.append(
-                    f"{point.write_mbps if op == 'write' else point.read_mbps:.3f}"
-                )
+                point = by_freq[name].get(freq)
+                if point is None:
+                    cells.append("")
+                else:
+                    cells.append(
+                        f"{point.write_mbps if op == 'write' else point.read_mbps:.3f}"
+                    )
             lines.append(",".join(cells))
         return "\n".join(lines) + "\n"
 
     def render(self) -> str:
         """Charts + table, in the style of Figure 2a/2b."""
         blocks = []
+        by_freq = self._points_by_frequency()
         for op, title in (("write", "Figure 2a: Sequential Write"), ("read", "Figure 2b: Sequential Read")):
             blocks.append(title)
             blocks.append(
@@ -90,11 +116,14 @@ class Figure2Result:
                 f"{title} (MB/s)",
                 ["freq_hz"] + list(self.sweeps),
             )
-            for i, freq in enumerate(self.frequencies_hz):
+            for freq in self._row_frequencies():
                 row = [f"{freq:.0f}"]
-                for sweep in self.sweeps.values():
-                    point = sweep.points[i]
-                    row.append(format_mbps(point.write_mbps if op == "write" else point.read_mbps))
+                for name in self.sweeps:
+                    point = by_freq[name].get(freq)
+                    if point is None:
+                        row.append("-")
+                    else:
+                        row.append(format_mbps(point.write_mbps if op == "write" else point.read_mbps))
                 table.add_row(*row)
             blocks.append(table.render())
             blocks.append("")
@@ -106,10 +135,22 @@ def run_figure2(
     scenarios: Optional[Sequence[Scenario]] = None,
     fio_runtime_s: float = 1.0,
     seed: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: bool = False,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Figure2Result:
-    """Run the Figure 2 sweep and return the structured result."""
+    """Run the Figure 2 sweep and return the structured result.
+
+    ``workers``/``cache_dir``/``progress`` build a
+    :class:`repro.runtime.SweepRunner` (parallel measurement, on-disk
+    memoization, points/s reporting); results are bit-identical at any
+    worker count.  Pass ``runner`` to reuse a configured one instead.
+    """
     freqs = list(frequencies_hz) if frequencies_hz is not None else default_frequencies()
     scens = list(scenarios) if scenarios is not None else Scenario.all_three()
+    if runner is None:
+        runner = make_runner(workers=workers, cache_dir=cache_dir, progress=progress)
     result = Figure2Result(frequencies_hz=freqs)
     config = AttackConfig(frequency_hz=650.0, source_level_db=ATTACK_LEVEL_DB, distance_m=0.01)
     for scenario in scens:
@@ -118,5 +159,7 @@ def run_figure2(
             seed=seed,
             fio_runtime_s=fio_runtime_s,
         )
-        result.sweeps[scenario.name] = session.frequency_sweep(freqs, config=config)
+        result.sweeps[scenario.name] = session.frequency_sweep(
+            freqs, config=config, runner=runner
+        )
     return result

@@ -15,6 +15,7 @@ from repro.core.attack import AttackSession, RangeTestResult
 from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
 from repro.core.scenario import Scenario
+from repro.runtime import SweepRunner, make_runner
 
 from .paper_data import ATTACK_LEVEL_DB, ATTACK_TONE_HZ, TABLE1_PAPER
 
@@ -71,8 +72,17 @@ def run_table1(
     distances_m: Sequence[float] = DEFAULT_DISTANCES_M,
     fio_runtime_s: float = 2.0,
     seed: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: bool = False,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Table1Result:
-    """Run the range test of Section 4.2."""
+    """Run the range test of Section 4.2.
+
+    ``workers``/``cache_dir``/``progress`` fan the distances out over a
+    :class:`repro.runtime.SweepRunner`; results are bit-identical at
+    any worker count.
+    """
     session = AttackSession(
         coupling=AttackCoupling.paper_setup(Scenario.scenario_2()),
         seed=seed,
@@ -83,4 +93,8 @@ def run_table1(
         source_level_db=ATTACK_LEVEL_DB,
         distance_m=distances_m[0],
     )
-    return Table1Result(range_test=session.range_test(distances_m, config=config))
+    if runner is None:
+        runner = make_runner(workers=workers, cache_dir=cache_dir, progress=progress)
+    return Table1Result(
+        range_test=session.range_test(distances_m, config=config, runner=runner)
+    )

@@ -1,0 +1,27 @@
+"""Parallel campaign execution, result memoization, and progress.
+
+The experiments of Sections 4–5 are grids of independent measurements;
+this package runs those grids as fast as the hardware allows:
+
+* :class:`SweepRunner` — fans points over a process pool with
+  deterministic per-point seeding (``workers=1`` keeps the exact
+  sequential path, so parallel and serial runs are bit-identical);
+* :class:`ResultCache` — on-disk memoization keyed by
+  :func:`fingerprint` over (scenario, attack config, job params, seed);
+* :class:`ProgressReporter` — points/s and ETA reporting.
+"""
+
+from .cache import ResultCache, ResultCacheStats
+from .fingerprint import canonical, fingerprint
+from .progress import ProgressReporter
+from .runner import SweepRunner, make_runner
+
+__all__ = [
+    "ResultCache",
+    "ResultCacheStats",
+    "ProgressReporter",
+    "SweepRunner",
+    "canonical",
+    "fingerprint",
+    "make_runner",
+]

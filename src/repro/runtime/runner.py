@@ -1,0 +1,176 @@
+"""The parallel campaign runner.
+
+The paper's headline artifacts are frequency/distance sweeps whose
+points are completely independent: each one builds a fresh victim rig
+seeded by :meth:`repro.rng.ReproRandom.fork` on a per-point label, so a
+point's numbers depend only on its own spec, never on execution order.
+:class:`SweepRunner` exploits that to fan points out over a
+``ProcessPoolExecutor`` while guaranteeing bit-identical results to a
+serial run:
+
+* ``workers=1`` executes every point in-process, in order — the
+  original sequential path;
+* ``workers>1`` submits each point to the pool; because point functions
+  are pure functions of their picklable spec, the gathered results are
+  byte-for-byte the numbers the serial path produces, in the same
+  order.
+
+An optional :class:`~repro.runtime.cache.ResultCache` memoizes point
+results on disk keyed by a caller-provided fingerprint, and a
+:class:`~repro.runtime.progress.ProgressReporter` prints points/s and
+ETA as the campaign advances.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
+
+from repro.errors import ConfigurationError, WorkerCrashed
+
+from .cache import ResultCache
+from .progress import ProgressReporter, _STDERR
+
+__all__ = ["SweepRunner", "make_runner"]
+
+
+def make_runner(
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: bool = False,
+) -> "Optional[SweepRunner]":
+    """A :class:`SweepRunner` for the given CLI-style options.
+
+    Returns None when every option is at its default, signalling
+    callers to keep the plain sequential code path.
+    """
+    if workers == 1 and cache_dir is None and not progress:
+        return None
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return SweepRunner(workers=workers, cache=cache, progress=progress)
+
+
+class SweepRunner:
+    """Fans independent campaign points over worker processes.
+
+    Args:
+        workers: process count; 1 (the default) runs in-process and is
+            guaranteed to take the exact sequential code path.
+        cache: optional on-disk result cache; points whose key is
+            already stored are not re-measured.
+        progress: False silences reporting (counters still accumulate
+            on the reporter returned by :meth:`last_reporter`).
+        progress_stream: where progress lines go (default stderr).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: bool = False,
+        progress_stream: object = _STDERR,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+        self.progress_stream = progress_stream
+        self._last_reporter: Optional[ProgressReporter] = None
+
+    # -- introspection -----------------------------------------------------
+
+    def last_reporter(self) -> Optional[ProgressReporter]:
+        """The reporter of the most recent :meth:`map` (for stats/tests)."""
+        return self._last_reporter
+
+    # -- execution ---------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        keys: Optional[Sequence[str]] = None,
+        encode: Optional[Callable[[Any], Dict[str, Any]]] = None,
+        decode: Optional[Callable[[Dict[str, Any]], Any]] = None,
+        label: str = "sweep",
+    ) -> List[Any]:
+        """``[fn(spec) for spec in specs]``, parallel and memoized.
+
+        ``fn`` must be a module-level callable and every spec picklable
+        (only required when ``workers > 1``).  When a cache is
+        configured, ``keys`` must align with ``specs`` and
+        ``encode``/``decode`` convert results to/from JSON-safe dicts;
+        cached points skip measurement entirely.  Results come back in
+        spec order regardless of completion order.
+        """
+        specs = list(specs)
+        use_cache = self.cache is not None and keys is not None
+        if use_cache:
+            if len(keys) != len(specs):
+                raise ConfigurationError(
+                    f"{len(keys)} cache keys for {len(specs)} specs"
+                )
+            if encode is None or decode is None:
+                raise ConfigurationError(
+                    "a cache requires encode and decode functions"
+                )
+
+        reporter = ProgressReporter(
+            total=len(specs),
+            label=label,
+            stream=self.progress_stream if self.progress else None,
+        )
+        self._last_reporter = reporter
+        reporter.start()
+
+        results: List[Any] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if use_cache:
+                payload = self.cache.get(keys[index])
+                if payload is not None:
+                    results[index] = decode(payload)
+                    reporter.advance(cached=True)
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.workers == 1:
+                for index in pending:
+                    results[index] = fn(specs[index])
+                    reporter.advance()
+            else:
+                self._run_pool(fn, specs, pending, results, reporter)
+            if use_cache:
+                for index in pending:
+                    self.cache.put(keys[index], encode(results[index]))
+
+        if self.progress:
+            reporter.finish()
+        return results
+
+    def _run_pool(
+        self,
+        fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        pending: Sequence[int],
+        results: List[Any],
+        reporter: ProgressReporter,
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    pool.submit(fn, specs[index]): index for index in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index = futures[future]
+                    results[index] = future.result()
+                    reporter.advance()
+        except concurrent.futures.process.BrokenProcessPool as exc:
+            raise WorkerCrashed(
+                f"a campaign worker died after {reporter.completed} of "
+                f"{reporter.total} points (pid {os.getpid()} lost its pool): {exc}"
+            ) from exc

@@ -123,8 +123,14 @@ class WriteBackCache:
                     del self._cache[block]
                     break
             else:
-                # Everything is dirty: force one destage.
-                self._destage_oldest_dirty()
+                # Everything is dirty: force one destage.  A failure
+                # here escapes through the *read* path, and must count
+                # in the stats like every other destage site.
+                try:
+                    self._destage_oldest_dirty()
+                except BlockIOError:
+                    self.stats.destage_failures += 1
+                    raise
 
     def _destage_oldest_dirty(self) -> None:
         for block, (data, dirty) in self._cache.items():

@@ -26,17 +26,27 @@ _MAX_SEQ = (1 << 56) - 1
 
 
 def encode_internal_key(user_key: bytes, sequence: int) -> bytes:
-    """user_key + (max_seq - seq) big-endian: newest first within a key."""
+    """Escaped user_key, terminator, then (max_seq - seq) big-endian.
+
+    Raw-bytes comparison of the result must order by (user_key
+    ascending, sequence descending).  A bare separator is not enough:
+    with user keys that contain NUL (``b"\\x00"`` vs ``b"\\x00\\x00"``)
+    the comparison runs into the sequence bytes and inverts the order.
+    Escaping NUL as ``00 01`` and terminating with ``00 00`` keeps the
+    key section prefix-free, so ordering (and decoding) is exact for
+    arbitrary byte keys.
+    """
     if not 0 <= sequence <= _MAX_SEQ:
         raise ConfigurationError(f"sequence out of range: {sequence}")
-    return user_key + b"\x00" + (_MAX_SEQ - sequence).to_bytes(7, "big")
+    escaped = user_key.replace(b"\x00", b"\x00\x01")
+    return escaped + b"\x00\x00" + (_MAX_SEQ - sequence).to_bytes(7, "big")
 
 
 def decode_internal_key(internal_key: bytes) -> Tuple[bytes, int]:
     """Inverse of :func:`encode_internal_key`."""
-    if len(internal_key) < 8 or internal_key[-8] != 0:
+    if len(internal_key) < 9 or internal_key[-9:-7] != b"\x00\x00":
         raise ConfigurationError("malformed internal key")
-    user_key = internal_key[:-8]
+    user_key = internal_key[:-9].replace(b"\x00\x01", b"\x00")
     sequence = _MAX_SEQ - int.from_bytes(internal_key[-7:], "big")
     return user_key, sequence
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.attack import AttackSession
+from repro.core.attack import AttackSession, FrequencySweepResult, SweepPoint
 from repro.core.attacker import AcousticAttacker, AttackConfig
 from repro.core.calibration import CalibrationConstants, DEFAULT_CALIBRATION
 from repro.core.coupling import AttackCoupling
@@ -155,6 +155,89 @@ class TestAttackSession:
         session = AttackSession(fio_runtime_s=0.5)
         result = session.sustained_attack(AttackConfig.paper_best(), duration_s=1.0)
         assert not result.responded
+
+
+class TestVulnerableBand:
+    @staticmethod
+    def _sweep(values_by_freq):
+        result = FrequencySweepResult(
+            scenario_name="synthetic",
+            baseline_write_mbps=20.0,
+            baseline_read_mbps=20.0,
+        )
+        for freq, write in values_by_freq:
+            result.points.append(SweepPoint(freq, write, write))
+        return result
+
+    def test_disjoint_dips_are_not_bridged(self):
+        """Regression: min/max over all hits used to merge two separate
+        dips (300-400 and 1500-1700) into one 300-1700 band."""
+        sweep = self._sweep(
+            [
+                (200.0, 20.0),
+                (300.0, 1.0),
+                (400.0, 1.0),
+                (500.0, 20.0),  # recovered: the dips are disjoint
+                (1500.0, 1.0),
+                (1600.0, 1.0),
+                (1700.0, 1.0),
+                (1800.0, 20.0),
+            ]
+        )
+        assert sweep.vulnerable_band(0.5, "write") == (1500.0, 1700.0)
+
+    def test_equal_count_prefers_wider_hertz_span(self):
+        sweep = self._sweep(
+            [(100.0, 1.0), (200.0, 1.0), (900.0, 20.0), (1000.0, 1.0), (1200.0, 1.0)]
+        )
+        # Both runs have two points; 1000-1200 spans more hertz.
+        assert sweep.vulnerable_band(0.5, "write") == (1000.0, 1200.0)
+
+    def test_full_tie_prefers_lower_band(self):
+        sweep = self._sweep(
+            [(100.0, 1.0), (200.0, 1.0), (900.0, 20.0), (1000.0, 1.0), (1100.0, 1.0)]
+        )
+        assert sweep.vulnerable_band(0.5, "write") == (100.0, 200.0)
+
+    def test_unsorted_points_are_handled(self):
+        sweep = self._sweep([(650.0, 1.0), (300.0, 1.0), (1000.0, 20.0)])
+        assert sweep.vulnerable_band(0.5, "write") == (300.0, 650.0)
+
+    def test_no_hits_returns_none(self):
+        sweep = self._sweep([(300.0, 20.0)])
+        assert sweep.vulnerable_band(0.5, "write") is None
+
+    def test_validation(self):
+        sweep = self._sweep([(300.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            sweep.vulnerable_band(0.0, "write")
+
+
+class TestRangeBaselineDiscipline:
+    def test_baseline_ratio_is_flat_far_from_the_speaker(self):
+        """Regression: the baseline used to measure read-then-write while
+        every point measured the other order, skewing Table 1 ratios."""
+        session = AttackSession(fio_runtime_s=0.5)
+        result = session.range_test([0.25])
+        far = result.points[0]
+        base = result.baseline
+        assert far.write.throughput_mbps == pytest.approx(
+            base.write.throughput_mbps, rel=0.02
+        )
+        assert far.read.throughput_mbps == pytest.approx(
+            base.read.throughput_mbps, rel=0.02
+        )
+
+    def test_range_baseline_agrees_with_session_baseline(self):
+        session = AttackSession(fio_runtime_s=0.5)
+        sweep_base = session.baseline()
+        range_base = session.range_test([]).baseline
+        assert range_base.write.throughput_mbps == pytest.approx(
+            sweep_base.write_mbps, rel=0.02
+        )
+        assert range_base.read.throughput_mbps == pytest.approx(
+            sweep_base.read_mbps, rel=0.02
+        )
 
 
 class TestMonitor:

@@ -3,13 +3,14 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.attack import FrequencySweepResult, SweepPoint
 from repro.experiments.ablations import (
     run_defense_ablation,
     run_material_ablation,
     run_source_level_ablation,
     run_water_conditions_ablation,
 )
-from repro.experiments.figure2 import default_frequencies, run_figure2
+from repro.experiments.figure2 import Figure2Result, default_frequencies, run_figure2
 from repro.experiments.table2 import run_table2
 
 
@@ -22,6 +23,39 @@ class TestFigure2Driver:
         rendered = result.render()
         assert "Figure 2a" in rendered and "Figure 2b" in rendered
         assert "Scenario 3" in rendered
+
+    def test_mismatched_grids_join_on_frequency(self):
+        """Regression: to_csv/render indexed points positionally into
+        frequencies_hz, so a sweep on a different grid crashed or put
+        every number after the mismatch on the wrong row."""
+
+        def sweep(points):
+            result = FrequencySweepResult(
+                scenario_name="synthetic",
+                baseline_write_mbps=20.0,
+                baseline_read_mbps=20.0,
+            )
+            for freq, mbps in points:
+                result.points.append(SweepPoint(freq, mbps, mbps))
+            return result
+
+        result = Figure2Result(frequencies_hz=[100.0, 200.0, 300.0])
+        result.sweeps["Scenario 1"] = sweep([(100.0, 1.0), (200.0, 2.0), (300.0, 3.0)])
+        # Different, partially overlapping grid — and fewer points.
+        result.sweeps["Scenario 2"] = sweep([(200.0, 5.0), (650.0, 6.0)])
+
+        lines = result.to_csv("write").strip().splitlines()
+        assert lines[0] == "frequency_hz,Scenario_1,Scenario_2"
+        rows = {line.split(",")[0]: line.split(",")[1:] for line in lines[1:]}
+        # Each value sits on the row of its own frequency...
+        assert rows["200.0"] == ["2.000", "5.000"]
+        assert rows["650.0"] == ["", "6.000"]
+        assert rows["100.0"] == ["1.000", ""]
+        # ...and the union of grids is covered, sorted.
+        assert list(rows) == ["100.0", "200.0", "300.0", "650.0"]
+
+        rendered = result.render()  # must not raise IndexError
+        assert "650" in rendered and "-" in rendered
 
     def test_default_grid_covers_paper_band(self):
         freqs = default_frequencies()

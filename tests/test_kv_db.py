@@ -85,6 +85,18 @@ class TestFlushAndCompaction:
     def test_flush_empty_memtable_is_noop(self, db):
         assert db.flush() is None
 
+    def test_nul_bytes_in_keys_survive_flush(self, db):
+        """Regression: the internal-key encoding used a bare NUL
+        separator, so keys containing NUL (one a prefix of another)
+        sorted wrongly in the memtable — flush hit the SSTable
+        sorted-order check and lookups missed live keys."""
+        keys = [b"\x00", b"\x00\x00", b"\xa0", b"\xa0\x00\xb8", b"a\x00b"]
+        for i, key in enumerate(keys):
+            db.put(key, bytes([i]))
+        assert db.flush() is not None
+        for i, key in enumerate(keys):
+            assert db.get(key) == bytes([i])
+
     def test_automatic_flush_at_write_buffer(self, fs, rng):
         fs.mkdir("/small")
         options = Options(write_buffer_size=16 * 1024)

@@ -5,6 +5,7 @@ import pytest
 from repro.core.attacker import AttackConfig
 from repro.errors import BlockIOError, ConfigurationError
 from repro.storage.cache import WriteBackCache
+from repro.storage.faults import FaultInjector, FaultPlan
 from repro.units import BLOCK_4K
 
 
@@ -68,6 +69,32 @@ class TestCaching:
         cache = WriteBackCache(device)
         with pytest.raises(ConfigurationError):
             cache.write_block(0, b"short")
+
+
+class TestDestageAccounting:
+    def test_forced_destage_failure_on_read_path_is_counted(self, device):
+        """Regression: a destage forced by a full, all-dirty cache used to
+        escape the *read* path without incrementing destage_failures."""
+        faulted = FaultInjector(device, FaultPlan(write_error_p=1.0))
+        cache = WriteBackCache(faulted, capacity_blocks=8, dirty_high_watermark=1.0)
+        # Fill the cache entirely with dirty blocks (writes are absorbed,
+        # so the faulted backing device is never touched yet).
+        for i in range(8):
+            cache.write_block(i, payload(i))
+        assert cache.dirty_blocks == 8
+        # A read miss must evict, everything is dirty, and the forced
+        # destage hits the faulted device.
+        with pytest.raises(BlockIOError):
+            cache.read_block(100)
+        assert cache.stats.destage_failures == 1
+
+    def test_watermark_destage_failure_still_counted(self, device):
+        faulted = FaultInjector(device, FaultPlan(write_error_p=1.0))
+        cache = WriteBackCache(faulted, capacity_blocks=16, dirty_high_watermark=0.5)
+        with pytest.raises(BlockIOError):
+            for i in range(cache.dirty_limit + 1):
+                cache.write_block(i, payload(i))
+        assert cache.stats.destage_failures == 1
 
 
 class TestCacheUnderAttack:

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Lint the codebase with whatever checker this machine has.
+
+Tries, in order of decreasing strictness, and uses the first available:
+
+1. ``ruff check`` — fast and broad;
+2. ``pyflakes`` — undefined names, unused imports;
+3. ``compileall`` — bare syntax check, always available.
+
+Exit status is the checker's, so ``make lint`` and CI can gate on it
+without requiring any particular tool to be installed.
+"""
+
+from __future__ import annotations
+
+import compileall
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TARGETS = ["src", "tests", "benchmarks", "tools", "examples"]
+
+
+def _existing_targets() -> list[str]:
+    return [t for t in TARGETS if (ROOT / t).is_dir()]
+
+
+def _run(argv: list[str]) -> int:
+    print("+", " ".join(argv), file=sys.stderr)
+    return subprocess.run(argv, cwd=ROOT).returncode
+
+
+def main() -> int:
+    targets = _existing_targets()
+    if importlib.util.find_spec("ruff") is not None:
+        return _run([sys.executable, "-m", "ruff", "check", *targets])
+    if importlib.util.find_spec("pyflakes") is not None:
+        return _run([sys.executable, "-m", "pyflakes", *targets])
+    print("no ruff/pyflakes found; falling back to a syntax check", file=sys.stderr)
+    ok = all(
+        compileall.compile_dir(str(ROOT / t), quiet=1, force=True) for t in targets
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
