@@ -1,7 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke lint bench
+.PHONY: help test smoke lint bench bench-json
+
+help:       ## list targets with their one-line descriptions
+	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
 
 test:       ## full test suite
 	$(PYTHON) -m pytest -q
@@ -14,3 +17,6 @@ lint:       ## ruff if installed, else pyflakes, else a syntax check
 
 bench:      ## paper-scale benchmarks (writes results/*.txt)
 	$(PYTHON) -m pytest -q benchmarks
+
+bench-json: ## machine-readable perf trajectory (writes BENCH_PR2.json)
+	$(PYTHON) tools/bench_json.py --out BENCH_PR2.json

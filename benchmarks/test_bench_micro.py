@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro import perf
 from repro.hdd.drive import HardDiskDrive
+from repro.hdd.sector_store import SectorStore
+from repro.hdd.servo import OpKind, ServoSystem, VibrationInput
 from repro.rng import make_rng
 from repro.sim.clock import VirtualClock
 from repro.storage.block import BlockDevice
@@ -23,7 +26,7 @@ def fresh_drive(seed=1):
 
 
 def test_drive_sequential_write_rate(benchmark):
-    """Raw simulated-drive op rate."""
+    """Raw simulated-drive op rate (static fast path + servo memo on)."""
     drive = fresh_drive()
 
     def run():
@@ -32,6 +35,121 @@ def test_drive_sequential_write_rate(benchmark):
 
     benchmark(run)
     assert drive.stats.writes >= 2000
+
+
+def test_drive_sequential_write_rate_gated_baseline(benchmark):
+    """The same op loop with the perf flags off: the 'before' number.
+
+    ``perf_baseline`` disables the memoized servo chain and the static
+    fast path, so the drive re-evaluates the servo per attempt exactly
+    like the pre-optimization engine.
+    """
+    with perf.perf_baseline():
+        drive = fresh_drive()
+
+        def run():
+            for i in range(2000):
+                drive.write((i % 10_000) * 8, 8)
+
+        benchmark(run)
+    assert drive.stats.writes >= 2000
+
+
+def _degrading_vibration(servo: ServoSystem) -> VibrationInput:
+    """A tone in the partial-degradation regime (faults, not stalls).
+
+    The fault probability turns over sharply with displacement, so the
+    p = 0.5 point is found by bisection rather than a decade scan.
+    """
+    lo, hi = 1e-9, 1e-6
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        p = servo.success_probability(
+            OpKind.WRITE, VibrationInput(frequency_hz=700.0, displacement_m=mid)
+        )
+        if p > 0.5:
+            lo = mid
+        else:
+            hi = mid
+    vib = VibrationInput(frequency_hz=700.0, displacement_m=lo)
+    p = servo.success_probability(OpKind.WRITE, vib)
+    assert 0.05 < p < 0.95, f"bisection left the partial regime: p={p}"
+    return vib
+
+
+def test_drive_retry_path_rate(benchmark):
+    """Op rate in the retry-heavy regime of Table 1 (10-15 cm).
+
+    Exercises the RNG draw + retry-penalty loop rather than the
+    quiescent single-attempt path the sequential benches hit.
+    """
+    from repro.errors import MediumError
+
+    drive = fresh_drive()
+    drive.set_vibration(_degrading_vibration(drive.profile.servo))
+    errors = [0]
+
+    def run():
+        for i in range(500):
+            try:
+                drive.write((i % 10_000) * 8, 8)
+            except MediumError:
+                errors[0] += 1
+
+    benchmark(run)
+    assert drive.stats.retries > 0
+
+
+def test_servo_chain_memoized_rate(benchmark):
+    """success_probability throughput over a sweep grid, memo warm."""
+    servo = ServoSystem()
+    inputs = [
+        VibrationInput(frequency_hz=float(f), displacement_m=1e-8)
+        for f in range(100, 2100, 100)
+    ]
+
+    def run():
+        total = 0.0
+        for _ in range(50):
+            for vib in inputs:
+                total += servo.success_probability(OpKind.WRITE, vib)
+        return total
+
+    assert benchmark(run) >= 0.0
+
+
+def test_servo_chain_uncached_rate(benchmark):
+    """The same grid with the servo memo disabled: the 'before' number."""
+    with perf.perf_baseline():
+        servo = ServoSystem()
+        inputs = [
+            VibrationInput(frequency_hz=float(f), displacement_m=1e-8)
+            for f in range(100, 2100, 100)
+        ]
+
+        def run():
+            total = 0.0
+            for _ in range(50):
+                for vib in inputs:
+                    total += servo.success_probability(OpKind.WRITE, vib)
+            return total
+
+        assert benchmark(run) >= 0.0
+
+
+def test_sector_store_page_churn(benchmark):
+    """Page-granular store under 4 KiB write/read churn."""
+    store = SectorStore()
+    block = b"\xa5" * 4096
+
+    def run():
+        for i in range(1000):
+            store.write(i * 8, block)
+        for i in range(1000):
+            store.read(i * 8, 8)
+
+    benchmark(run)
+    assert store.read(0, 8) == block
 
 
 def test_fio_one_second_run(benchmark):

@@ -22,6 +22,7 @@ serial run.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
@@ -75,10 +76,14 @@ class FrequencySweepResult:
 
         A frequency belongs to the band when throughput drops below
         ``(1 - loss_fraction)`` of baseline.  Returns None if no
-        frequency qualifies.
+        frequency qualifies.  ``op`` must be ``"write"`` or ``"read"``.
         """
         if not 0.0 < loss_fraction <= 1.0:
             raise ConfigurationError("loss fraction must be in (0, 1]")
+        if op not in ("write", "read"):
+            raise ConfigurationError(
+                f"unknown op {op!r}: expected 'write' or 'read'"
+            )
         baseline = self.baseline_write_mbps if op == "write" else self.baseline_read_mbps
         cutoff = (1.0 - loss_fraction) * baseline
         ordered = sorted(self.points, key=lambda p: p.frequency_hz)
@@ -212,7 +217,7 @@ def _decode_fio_result(payload: dict) -> FioResult:
         busy_time_s=payload["busy_time_s"],
         total_latency_s=payload["total_latency_s"],
         max_latency_s=payload["max_latency_s"],
-        latencies_s=list(payload["latencies_s"]),
+        latencies_s=array("d", payload["latencies_s"]),
     )
 
 

@@ -14,15 +14,17 @@ store above observe real persistence semantics; payload-less writes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.errors import ConfigurationError, UnitError
 from repro.rng import ReproRandom, make_rng
 from repro.sim.clock import VirtualClock
 from repro.units import SECTOR_SIZE
+from repro import perf
 
 from .controller import DriveController, IOResult, RetryPolicy
 from .profiles import DriveProfile, make_barracuda_profile
+from .sector_store import SectorStore
 from .servo import OpKind, VibrationInput
 
 __all__ = ["DriveStats", "HardDiskDrive"]
@@ -62,8 +64,15 @@ class HardDiskDrive:
         self.vibration = VibrationInput.none()
         self.parked = False
         self.stats = DriveStats()
-        self._sectors: Dict[int, bytes] = {}
+        self._store = SectorStore()
         self._schedule: Optional[Callable[[float], Optional[VibrationInput]]] = None
+        self._fast_path = perf.io_fast_path_enabled()
+        # Hot-path caches: the addressable span (the geometry is fixed
+        # for the drive's lifetime) and shared zero-filled read buffers
+        # for payload-less mode (bytes are immutable, so one buffer per
+        # request size serves every caller).
+        self._total_sectors = self.profile.geometry.total_sectors
+        self._zero_blocks: dict = {}
 
     # -- capacity -------------------------------------------------------------
 
@@ -80,10 +89,10 @@ class HardDiskDrive:
     def _check_range(self, lba: int, sectors: int) -> None:
         if sectors <= 0:
             raise ConfigurationError(f"sector count must be positive: {sectors}")
-        if lba < 0 or lba + sectors > self.total_sectors:
+        if lba < 0 or lba + sectors > self._total_sectors:
             raise UnitError(
                 f"I/O [{lba}, {lba + sectors}) outside drive of "
-                f"{self.total_sectors} sectors"
+                f"{self._total_sectors} sectors"
             )
 
     # -- vibration injection ----------------------------------------------------
@@ -131,6 +140,21 @@ class HardDiskDrive:
         """(vibration, parked) at the current virtual time."""
         return self._refresh_from_schedule()
 
+    def _execute(self, op: OpKind, lba: int, sectors: int) -> IOResult:
+        """Run one command, picking the controller's static fast path.
+
+        Without a schedule the vibration state cannot change while a
+        command is in flight, so the controller can evaluate the servo
+        chain once per command instead of once per attempt.  A
+        schedule-driven (time-varying) vibration keeps the re-sampling
+        callable path and its per-attempt semantics.
+        """
+        if self._schedule is None and self._fast_path:
+            return self.controller.execute_static(
+                op, lba, sectors, self.vibration, self.parked
+            )
+        return self.controller.execute(op, lba, sectors, self._current_state)
+
     def offtrack_ratio(self, op: OpKind = OpKind.WRITE) -> float:
         """Current head excursion as a multiple of the op's threshold."""
         amplitude = self.profile.servo.offtrack_amplitude_m(self.vibration)
@@ -152,21 +176,21 @@ class HardDiskDrive:
         """
         self._check_range(lba, sectors)
         try:
-            result = self.controller.execute(
-                OpKind.READ, lba, sectors, self._current_state
-            )
+            result = self._execute(OpKind.READ, lba, sectors)
         finally:
+            # One sync covers both outcomes: the error paths leave via
+            # the exception, the success path falls through before any
+            # further controller activity.
             self._sync_counters()
         self.stats.reads += 1
         self.stats.sectors_read += sectors
-        self._sync_counters()
         if not self.store_data:
-            return result, b"\x00" * (sectors * SECTOR_SIZE)
-        chunks = [
-            self._sectors.get(sector, b"\x00" * SECTOR_SIZE)
-            for sector in range(lba, lba + sectors)
-        ]
-        return result, b"".join(chunks)
+            zeros = self._zero_blocks.get(sectors)
+            if zeros is None:
+                zeros = b"\x00" * (sectors * SECTOR_SIZE)
+                self._zero_blocks[sectors] = zeros
+            return result, zeros
+        return result, self._store.read(lba, sectors)
 
     def write(self, lba: int, sectors: int, data: Optional[bytes] = None) -> IOResult:
         """Write ``sectors`` sectors starting at ``lba``.
@@ -181,18 +205,13 @@ class HardDiskDrive:
                 f"{sectors} sectors ({sectors * SECTOR_SIZE} bytes)"
             )
         try:
-            result = self.controller.execute(
-                OpKind.WRITE, lba, sectors, self._current_state
-            )
+            result = self._execute(OpKind.WRITE, lba, sectors)
         finally:
             self._sync_counters()
         self.stats.writes += 1
         self.stats.sectors_written += sectors
-        self._sync_counters()
         if self.store_data and data is not None:
-            for index in range(sectors):
-                start = index * SECTOR_SIZE
-                self._sectors[lba + index] = data[start : start + SECTOR_SIZE]
+            self._store.write(lba, data)
         return result
 
     def flush(self) -> None:
@@ -205,7 +224,7 @@ class HardDiskDrive:
         """
         self._refresh_from_schedule()
         if self.parked or self.success_probability(OpKind.WRITE) <= 0.0:
-            self.controller.execute(OpKind.WRITE, 0, 1, self._current_state)
+            self._execute(OpKind.WRITE, 0, 1)
 
     def _sync_counters(self) -> None:
         self.stats.retries = self.controller.retries

@@ -9,13 +9,20 @@ Bolton et al.).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError, UnitError
 from repro.units import NM, SECTOR_SIZE
+from repro import perf
 
 __all__ = ["Zone", "DiskGeometry"]
+
+#: LBA -> (track, sector) memo entries kept before the table is
+#: cleared; sequential FIO wraps over the same region, so a bounded
+#: table captures essentially all repeat lookups.
+_LOCATE_CACHE_CAP = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,7 @@ class DiskGeometry:
         for zone in zones:
             self._zone_starts.append(acc)
             acc += zone.sectors
+        self._locate_cache: Dict[int, Tuple[int, int]] = {}
 
     @property
     def capacity_bytes(self) -> int:
@@ -89,18 +97,33 @@ class DiskGeometry:
         """Return (zone index, zone) containing ``lba``."""
         if not 0 <= lba < self.total_sectors:
             raise UnitError(f"LBA out of range: {lba}")
-        # Linear scan: drives have few zones (tens at most).
-        for index in range(len(self.zones) - 1, -1, -1):
-            if lba >= self._zone_starts[index]:
-                return index, self.zones[index]
-        raise AssertionError("unreachable: zone starts begin at 0")
+        index = bisect_right(self._zone_starts, lba) - 1
+        return index, self.zones[index]
 
     def locate(self, lba: int) -> Tuple[int, int]:
-        """Map ``lba`` to (track index, sector within track)."""
+        """Map ``lba`` to (track index, sector within track).
+
+        Memoized per geometry: the controller locates the same LBAs over
+        and over as sequential workloads wrap their target region.  The
+        mapping is a pure function of the (immutable) zone table, so the
+        cache can never go stale; it is bypassed entirely in
+        :func:`repro.perf.perf_baseline` mode so before/after benchmarks
+        measure the original path.
+        """
+        cache = self._locate_cache if perf._io_fast_path else None
+        if cache is not None:
+            cached = cache.get(lba)
+            if cached is not None:
+                return cached
         index, zone = self.zone_of_lba(lba)
         offset = lba - self._zone_starts[index]
         track_in_zone, sector = divmod(offset, zone.sectors_per_track)
-        return zone.first_track + track_in_zone, sector
+        value = (zone.first_track + track_in_zone, sector)
+        if cache is not None:
+            if len(cache) >= _LOCATE_CACHE_CAP:
+                cache.clear()
+            cache[lba] = value
+        return value
 
     def sectors_per_track_at(self, lba: int) -> int:
         """Sectors per track in the zone containing ``lba``."""

@@ -94,9 +94,18 @@ class DriveProfile:
         return block_bytes / 1e6 / per_op
 
 
+# Campaigns build a fresh rig per sweep point, but the zone table of a
+# drive model never changes: share one DiskGeometry per profile family
+# so fresh profiles skip rebuilding it and share a warm locate cache
+# within the process.  Mutable per-drive state (servo, seek, spindle,
+# shock sensor) stays per-instance — see
+# tests/test_hdd_geometry.py::test_fresh_profiles_are_independent.
+_BARRACUDA_GEOMETRY = DiskGeometry.barracuda_500gb()
+
+
 def make_barracuda_profile() -> DriveProfile:
     """Fresh profile instance of the case-study victim drive."""
-    geometry = DiskGeometry.barracuda_500gb()
+    geometry = _BARRACUDA_GEOMETRY
     return DriveProfile(
         name="Seagate Barracuda 500GB (victim)",
         geometry=geometry,

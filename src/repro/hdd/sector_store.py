@@ -1,0 +1,97 @@
+"""Sparse, page-granular retention of written sector payloads.
+
+The drive used to keep one ``Dict[int, bytes]`` entry per 512-byte
+sector, which made every multi-sector I/O pay a dict operation and a
+small-slice allocation per sector — a measurable tax on the filesystem
+and key-value workloads that run with payloads.  :class:`SectorStore`
+keeps the same semantics (sparse, zero-filled where never written) but
+at page granularity: a page is a contiguous run of sectors backed by one
+``bytearray``, so an 8-sector write touches one or two pages instead of
+eight dict slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.units import SECTOR_SIZE
+
+__all__ = ["SectorStore"]
+
+#: Sectors per backing page: 256 sectors = 128 KiB, large enough that
+#: 4 KiB block I/O almost always lands inside a single page, small
+#: enough that sparse workloads stay sparse.
+DEFAULT_PAGE_SECTORS = 256
+
+
+class SectorStore:
+    """Sparse byte store addressed by (sector LBA, sector count)."""
+
+    def __init__(self, page_sectors: int = DEFAULT_PAGE_SECTORS) -> None:
+        if page_sectors <= 0:
+            raise ConfigurationError(
+                f"page size must be positive: {page_sectors} sectors"
+            )
+        self.page_sectors = page_sectors
+        self.page_bytes = page_sectors * SECTOR_SIZE
+        self._pages: Dict[int, bytearray] = {}
+
+    def __len__(self) -> int:
+        """Number of resident pages (for tests and diagnostics)."""
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of backing storage currently allocated."""
+        return len(self._pages) * self.page_bytes
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Retain ``data`` (a whole number of sectors) starting at ``lba``."""
+        if len(data) % SECTOR_SIZE != 0:
+            raise ConfigurationError(
+                f"payload of {len(data)} bytes is not sector-aligned"
+            )
+        view = memoryview(data)
+        offset = lba * SECTOR_SIZE
+        remaining = len(data)
+        consumed = 0
+        while remaining > 0:
+            page_index, page_offset = divmod(offset + consumed, self.page_bytes)
+            chunk = min(remaining, self.page_bytes - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.page_bytes)
+                self._pages[page_index] = page
+            page[page_offset : page_offset + chunk] = view[
+                consumed : consumed + chunk
+            ]
+            consumed += chunk
+            remaining -= chunk
+
+    def read(self, lba: int, sectors: int) -> bytes:
+        """Return ``sectors`` sectors from ``lba``, zero-filled where unwritten."""
+        if sectors <= 0:
+            raise ConfigurationError(f"sector count must be positive: {sectors}")
+        offset = lba * SECTOR_SIZE
+        remaining = sectors * SECTOR_SIZE
+        first_page, first_offset = divmod(offset, self.page_bytes)
+        # Fast path: the whole read lands inside one page.
+        if first_offset + remaining <= self.page_bytes:
+            page = self._pages.get(first_page)
+            if page is None:
+                return bytes(remaining)
+            return bytes(page[first_offset : first_offset + remaining])
+        chunks = []
+        consumed = 0
+        while remaining > 0:
+            page_index, page_offset = divmod(offset + consumed, self.page_bytes)
+            chunk = min(remaining, self.page_bytes - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                chunks.append(bytes(chunk))
+            else:
+                chunks.append(bytes(page[page_offset : page_offset + chunk]))
+            consumed += chunk
+            remaining -= chunk
+        return b"".join(chunks)

@@ -12,9 +12,11 @@ the paper's "-" (no response) entries.
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, MutableSequence, Optional
 
+from repro.analysis.stats import percentile
 from repro.errors import ConfigurationError, DriveTimeout, MediumError
 from repro.hdd.drive import HardDiskDrive
 from repro.rng import ReproRandom, make_rng
@@ -92,7 +94,11 @@ class FioResult:
     busy_time_s: float = 0.0
     total_latency_s: float = 0.0
     max_latency_s: float = 0.0
-    latencies_s: List[float] = field(default_factory=list)
+    #: Stored as a compact ``array('d')`` rather than a list of boxed
+    #: floats: long runs append one latency per completed op, and the
+    #: flat array keeps that streaming-friendly (8 bytes/op, no
+    #: per-element object churn).
+    latencies_s: MutableSequence[float] = field(default_factory=lambda: array("d"))
 
     @property
     def responded(self) -> bool:
@@ -133,8 +139,6 @@ class FioResult:
         """
         if not self.latencies_s:
             return None
-        from repro.analysis.stats import percentile
-
         return percentile(self.latencies_s, pct) * 1e3
 
     def latency_summary_ms(self) -> "Optional[dict]":
@@ -170,32 +174,67 @@ class FioTester:
         return job.region_start_lba + index * job.sectors_per_block
 
     def run(self, job: FioJob) -> FioResult:
-        """Execute ``job`` for its runtime and return the aggregate result."""
+        """Execute ``job`` for its runtime and return the aggregate result.
+
+        The per-op invariants (target-region span, mode dispatch, bound
+        methods) are hoisted out of the issue loop, and latency
+        aggregation streams into locals + a flat array — a campaign
+        evaluates this loop thousands of times per point.
+        """
         result = FioResult(job=job)
         clock = self.drive.clock
         start = clock.now
         cursor = 0
-        while clock.elapsed_since(start) < job.runtime_s:
-            lba = self._next_lba(job, cursor)
+        region_start = job.region_start_lba
+        region_end = min(region_start + job.region_sectors, self.drive.total_sectors)
+        sectors_per_block = job.sectors_per_block
+        span_blocks = (region_end - region_start) // sectors_per_block
+        if span_blocks <= 0:
+            raise ConfigurationError("target region smaller than one block")
+        is_random = job.mode.is_random
+        is_write = job.mode.is_write
+        runtime_s = job.runtime_s
+        elapsed_since = clock.elapsed_since
+        randint = self.rng.randint
+        write = self.drive.write
+        read = self.drive.read
+        latencies = result.latencies_s
+        append_latency = latencies.append
+        completed_ops = 0
+        timeout_ops = 0
+        error_ops = 0
+        total_latency = 0.0
+        max_latency = 0.0
+        while elapsed_since(start) < runtime_s:
+            if is_random:
+                index = randint(0, span_blocks - 1)
+            else:
+                index = cursor % span_blocks
+            lba = region_start + index * sectors_per_block
             cursor += 1
-            op_start = clock.now
             try:
-                if job.mode.is_write:
-                    io = self.drive.write(lba, job.sectors_per_block)
+                if is_write:
+                    io = write(lba, sectors_per_block)
                 else:
-                    io, _ = self.drive.read(lba, job.sectors_per_block)
+                    io, _ = read(lba, sectors_per_block)
             except DriveTimeout:
-                result.timeout_ops += 1
+                timeout_ops += 1
                 continue
             except MediumError:
-                result.error_ops += 1
+                error_ops += 1
                 continue
-            result.completed_ops += 1
-            result.bytes_moved += job.block_bytes
+            completed_ops += 1
             latency = io.latency_s
-            result.total_latency_s += latency
-            result.max_latency_s = max(result.max_latency_s, latency)
-            result.latencies_s.append(latency)
+            total_latency += latency
+            if latency > max_latency:
+                max_latency = latency
+            append_latency(latency)
+        result.completed_ops = completed_ops
+        result.timeout_ops = timeout_ops
+        result.error_ops = error_ops
+        result.bytes_moved = completed_ops * job.block_bytes
+        result.total_latency_s = total_latency
+        result.max_latency_s = max_latency
         result.busy_time_s = clock.elapsed_since(start)
         return result
 

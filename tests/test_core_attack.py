@@ -212,6 +212,16 @@ class TestVulnerableBand:
         with pytest.raises(ConfigurationError):
             sweep.vulnerable_band(0.0, "write")
 
+    def test_unknown_op_is_rejected(self):
+        sweep = self._sweep([(300.0, 1.0)])
+        with pytest.raises(ConfigurationError, match="unknown op"):
+            sweep.vulnerable_band(0.5, "randwrite")
+
+    def test_both_valid_ops_are_accepted(self):
+        sweep = self._sweep([(300.0, 1.0), (650.0, 20.0)])
+        assert sweep.vulnerable_band(0.5, "write") == (300.0, 300.0)
+        assert sweep.vulnerable_band(0.5, "read") == (300.0, 300.0)
+
 
 class TestRangeBaselineDiscipline:
     def test_baseline_ratio_is_flat_far_from_the_speaker(self):
