@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help test smoke lint bench bench-json
+.PHONY: help test smoke lint bench bench-json trace-smoke
 
 help:       ## list targets with their one-line descriptions
 	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -18,5 +18,10 @@ lint:       ## ruff if installed, else pyflakes, else a syntax check
 bench:      ## paper-scale benchmarks (writes results/*.txt)
 	$(PYTHON) -m pytest -q benchmarks
 
-bench-json: ## machine-readable perf trajectory (writes BENCH_PR2.json)
-	$(PYTHON) tools/bench_json.py --out BENCH_PR2.json
+bench-json: ## machine-readable perf trajectory (writes BENCH_PR3.json)
+	$(PYTHON) tools/bench_json.py --out BENCH_PR3.json
+
+trace-smoke: ## tiny traced sweep + trace schema validation
+	$(PYTHON) -m repro.cli figure2 --runtime 0.2 --seed 7 \
+		--trace trace.json --metrics-out metrics.prom > /dev/null
+	$(PYTHON) tools/validate_trace.py trace.json

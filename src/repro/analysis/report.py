@@ -69,8 +69,16 @@ def build_report(options: Optional[ReportOptions] = None) -> str:
     table2 = run_table2(duration_s=bench_duration, seed=opts.seed)
     parts.append(_section("Table 2 — RocksDB vs distance", table2.render()))
 
-    table3 = run_table3(deadline_s=200.0)
+    # Table 3 runs under a telemetry session so the report can include
+    # the correlated incident timeline (watch spans, crash instants,
+    # kernel log lines, SMART forensics) alongside the table itself.
+    from repro import obs
+
+    with obs.session() as telemetry:
+        table3 = run_table3(deadline_s=200.0)
     parts.append(_section("Table 3 — crashes under prolonged attack", table3.render()))
+    parts.append(table3.incident_report(telemetry))
+    parts.append("")
 
     if opts.include_ablations:
         from repro.experiments.ablations import (

@@ -20,6 +20,14 @@ ablations::
 bit-identical to ``--workers 1``); ``--cache-dir`` memoizes measured
 points on disk so re-runs skip them; ``--progress`` reports points/s
 and ETA on stderr.
+
+Telemetry: ``--trace PATH`` records a virtual-clock span trace and
+writes Chrome ``trace_event`` JSON (open it in https://ui.perfetto.dev),
+``--trace-detail attempts`` raises the granularity to every media
+attempt, ``--metrics-out PATH`` dumps the run's metrics registry in
+Prometheus text format, and ``table3 --incident-out PATH`` writes the
+correlated crash-story report.  Without these flags no telemetry is
+installed and the hot paths keep their bit-identical fast path.
 """
 
 from __future__ import annotations
@@ -58,6 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="report points/s and ETA on stderr",
         )
+        add_telemetry_flags(command)
+
+    def add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a Chrome trace_event JSON (open in ui.perfetto.dev)",
+        )
+        command.add_argument(
+            "--trace-detail", choices=("commands", "attempts"), default="commands",
+            help="span granularity: per drive command, or every media attempt",
+        )
+        command.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="write a Prometheus-style text dump of the run's metrics",
+        )
 
     fig2 = sub.add_parser("figure2", help="throughput vs frequency, Scenarios 1-3")
     fig2.add_argument("--runtime", type=float, default=1.0, help="FIO seconds per point")
@@ -76,9 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     t2 = sub.add_parser("table2", help="RocksDB readwhilewriting vs distance")
     t2.add_argument("--duration", type=float, default=1.0, help="bench seconds per distance")
     t2.add_argument("--seed", type=int, default=None)
+    add_telemetry_flags(t2)
 
     t3 = sub.add_parser("table3", help="time-to-crash for Ext4 / Ubuntu / RocksDB")
     t3.add_argument("--deadline", type=float, default=300.0, help="give up after this long")
+    t3.add_argument(
+        "--incident-out", default=None, metavar="PATH",
+        help="write the correlated incident report (markdown); implies tracing",
+    )
+    add_telemetry_flags(t3)
 
     abl = sub.add_parser("ablations", help="Section 5 design-space ablations")
     abl.add_argument(
@@ -157,7 +186,17 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table3 import run_table3
 
-    print(run_table3(deadline_s=args.deadline).render())
+    result = run_table3(deadline_s=args.deadline)
+    print(result.render())
+    if args.incident_out is not None:
+        import pathlib
+
+        from repro.obs import telemetry as obs_telemetry
+
+        path = pathlib.Path(args.incident_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.incident_report(obs_telemetry.get()))
+        print(f"incident report written to {path}", file=sys.stderr)
     return 0
 
 
@@ -307,11 +346,40 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point (console script ``deepnote``)."""
+    """Entry point (console script ``deepnote``).
+
+    When any telemetry flag is given (``--trace``, ``--metrics-out``,
+    table3's ``--incident-out``), the whole command runs under an
+    installed :mod:`repro.obs` session and the requested artifacts are
+    written after the handler returns.  Without them nothing is
+    installed and every component keeps its zero-overhead path.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    return handler(args)
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    incident_path = getattr(args, "incident_out", None)
+    if trace_path is None and metrics_path is None and incident_path is None:
+        return handler(args)
+
+    from repro import obs
+
+    detail = getattr(args, "trace_detail", "commands")
+    with obs.session(obs.Telemetry(tracer=obs.Tracer(detail=detail))) as tel:
+        status = handler(args)
+    if trace_path is not None:
+        obs.write_chrome_trace(tel.tracer, trace_path)
+        print(
+            f"trace written to {trace_path} "
+            f"({len(tel.tracer.spans)} spans, {len(tel.tracer.events)} events)",
+            file=sys.stderr,
+        )
+    if metrics_path is not None:
+        obs.write_metrics_text(tel.metrics, metrics_path)
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Iterable, List, Optional
 from repro.errors import ConfigurationError
 from repro.hdd.drive import HardDiskDrive
 from repro.hdd.profiles import make_barracuda_profile
+from repro.obs import telemetry as obs
+from repro.obs.trace import NULL_TRACER
 from repro.rng import ReproRandom, make_rng
 from repro.sim.clock import VirtualClock
 from repro.workloads.fio import FioJob, FioResult, FioTester, IOMode
@@ -307,6 +309,16 @@ class AttackSession:
         if fio_runtime_s <= 0.0:
             raise ConfigurationError("FIO runtime must be positive")
         self.fio_runtime_s = fio_runtime_s
+        self._obs = obs.get()
+
+    @property
+    def _tracer(self):
+        """The session's tracer (the shared no-op when disabled)."""
+        return self._obs.tracer if self._obs is not None else NULL_TRACER
+
+    def _count_point(self, kind: str) -> None:
+        if self._obs is not None:
+            self._obs.metrics.counter("attack_points_total", kind=kind).inc()
 
     # -- plumbing -------------------------------------------------------------
 
@@ -331,10 +343,21 @@ class AttackSession:
     def _sweep_point(self, base_config: AttackConfig, frequency: float) -> SweepPoint:
         """One sweep frequency on a fresh rig, write then read."""
         attack = base_config.at_frequency(frequency)
-        drive, tester = self._fresh_rig(f"sweep/{frequency:.1f}")
-        self.coupling.apply(drive, attack)
-        write = self._measure(drive, tester, IOMode.SEQ_WRITE)
-        read = self._measure(drive, tester, IOMode.SEQ_READ)
+        tracer = self._tracer
+        with tracer.track(
+            f"{self.coupling.scenario.name}/sweep/{frequency:.1f}Hz"
+        ):
+            drive, tester = self._fresh_rig(f"sweep/{frequency:.1f}")
+            self.coupling.apply(drive, attack)
+            with tracer.span(
+                "sweep.point",
+                drive.clock,
+                category="attack",
+                args={"frequency_hz": frequency},
+            ):
+                write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+                read = self._measure(drive, tester, IOMode.SEQ_READ)
+        self._count_point("sweep")
         return SweepPoint(frequency, write.throughput_mbps, read.throughput_mbps)
 
     def _range_point(
@@ -352,10 +375,19 @@ class AttackSession:
         else:
             label = f"range/{distance_m:.3f}"
             attack = base_config.at_distance(distance_m)
-        drive, tester = self._fresh_rig(label)
-        self.coupling.apply(drive, attack)
-        write = self._measure(drive, tester, IOMode.SEQ_WRITE)
-        read = self._measure(drive, tester, IOMode.SEQ_READ)
+        tracer = self._tracer
+        with tracer.track(f"{self.coupling.scenario.name}/{label}"):
+            drive, tester = self._fresh_rig(label)
+            self.coupling.apply(drive, attack)
+            with tracer.span(
+                "range.point",
+                drive.clock,
+                category="attack",
+                args={"distance_m": 0.0 if distance_m is None else distance_m},
+            ):
+                write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+                read = self._measure(drive, tester, IOMode.SEQ_READ)
+        self._count_point("range")
         return RangePoint(
             distance_m=0.0 if distance_m is None else distance_m,
             read=read,
@@ -382,9 +414,13 @@ class AttackSession:
 
     def baseline(self) -> SweepPoint:
         """No-attack throughput (the paper's "No Attack" rows)."""
-        drive, tester = self._fresh_rig("baseline")
-        write = self._measure(drive, tester, IOMode.SEQ_WRITE)
-        read = self._measure(drive, tester, IOMode.SEQ_READ)
+        tracer = self._tracer
+        with tracer.track(f"{self.coupling.scenario.name}/baseline"):
+            drive, tester = self._fresh_rig("baseline")
+            with tracer.span("baseline.point", drive.clock, category="attack"):
+                write = self._measure(drive, tester, IOMode.SEQ_WRITE)
+                read = self._measure(drive, tester, IOMode.SEQ_READ)
+        self._count_point("baseline")
         return SweepPoint(0.0, write.throughput_mbps, read.throughput_mbps)
 
     def frequency_sweep(
@@ -519,7 +555,20 @@ class AttackSession:
         """Apply one tone for ``duration_s`` while a workload runs."""
         if duration_s <= 0.0:
             raise ConfigurationError("duration must be positive")
-        drive, tester = self._fresh_rig("sustained")
-        self.coupling.apply(drive, config)
-        job = FioJob(mode=mode, runtime_s=duration_s, name="sustained")
-        return tester.run(job)
+        tracer = self._tracer
+        with tracer.track(f"{self.coupling.scenario.name}/sustained"):
+            drive, tester = self._fresh_rig("sustained")
+            self.coupling.apply(drive, config)
+            job = FioJob(mode=mode, runtime_s=duration_s, name="sustained")
+            with tracer.span(
+                "attack.sustained",
+                drive.clock,
+                category="attack",
+                args={
+                    "frequency_hz": config.frequency_hz,
+                    "duration_s": duration_s,
+                },
+            ):
+                result = tester.run(job)
+        self._count_point("sustained")
+        return result

@@ -20,6 +20,8 @@ from repro.errors import (
     ReproError,
     WALSyncError,
 )
+from repro.obs import telemetry as obs
+from repro.obs.trace import NULL_TRACER
 from repro.sim.clock import VirtualClock
 
 __all__ = ["MonitoredApplication", "CrashReport", "AvailabilityMonitor"]
@@ -68,6 +70,7 @@ class AvailabilityMonitor:
     def __init__(self, clock: VirtualClock) -> None:
         self.clock = clock
         self.reports: List[CrashReport] = []
+        self._obs = obs.get()
 
     def watch(
         self,
@@ -83,7 +86,39 @@ class AvailabilityMonitor:
         """
         if deadline_s <= 0.0:
             raise ConfigurationError("deadline must be positive")
+        tel = self._obs
+        tracer = tel.tracer if tel is not None else NULL_TRACER
         start = self.clock.now
+        with tracer.track(f"victim/{app.name}"):
+            with tracer.span(
+                "monitor.watch",
+                self.clock,
+                category="monitor",
+                args={"app": app.name, "deadline_s": deadline_s},
+            ):
+                report = self._watch(app, description, deadline_s, max_steps, start)
+        if tel is not None:
+            if report is not None:
+                tracer.instant(
+                    "crash",
+                    start + report.time_to_crash_s,
+                    category="monitor",
+                    args={"app": app.name, "error": report.error_output},
+                    track=f"victim/{app.name}",
+                )
+                tel.metrics.counter("monitor_crashes_total", app=app.name).inc()
+            else:
+                tel.metrics.counter("monitor_survivals_total", app=app.name).inc()
+        return report
+
+    def _watch(
+        self,
+        app: MonitoredApplication,
+        description: str,
+        deadline_s: float,
+        max_steps: int,
+        start: float,
+    ) -> Optional[CrashReport]:
         steps = 0
         while self.clock.elapsed_since(start) < deadline_s and steps < max_steps:
             steps += 1

@@ -16,6 +16,9 @@ from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
 from repro.core.monitor import AvailabilityMonitor, CrashReport
 from repro.core.scenario import Scenario
+from repro.hdd.smart import SmartLog
+from repro.obs import telemetry as obs
+from repro.obs.incident import build_incident_report
 
 from .apps import Ext4Victim, RocksDBVictim, UbuntuVictim
 from .paper_data import ATTACK_LEVEL_DB, ATTACK_TONE_HZ, TABLE3_PAPER
@@ -29,6 +32,8 @@ class Table3Result:
 
     reports: Dict[str, Optional[CrashReport]] = field(default_factory=dict)
     descriptions: Dict[str, str] = field(default_factory=dict)
+    #: Per-victim SMART forensics, collected only when telemetry is on.
+    smart_reports: Dict[str, str] = field(default_factory=dict)
 
     def average_time_to_crash_s(self) -> Optional[float]:
         """Mean crash time across victims that did crash."""
@@ -59,6 +64,25 @@ class Table3Result:
             rendered += f"\naverage time to crash: {average:.1f} s (paper: 80.8 s)"
         return rendered
 
+    def incident_report(self, telemetry) -> str:
+        """The correlated crash timeline (markdown) for this run.
+
+        ``telemetry`` is the :class:`~repro.obs.telemetry.Telemetry`
+        bundle that was installed while :func:`run_table3` ran: its
+        tracer holds the watch spans, crash instants, and ingested
+        dmesg lines the timeline is built from.
+        """
+        return build_incident_report(
+            list(self.reports.items()),
+            tracer=telemetry.tracer,
+            metrics=telemetry.metrics,
+            smart_reports=self.smart_reports,
+            title=(
+                "Incident report: prolonged acoustic attack "
+                f"({ATTACK_TONE_HZ:.0f} Hz, {ATTACK_LEVEL_DB:.0f} dB, 1 cm)"
+            ),
+        )
+
 
 def run_table3(
     deadline_s: float = 300.0,
@@ -74,9 +98,11 @@ def run_table3(
     )
     factories = victims if victims is not None else [Ext4Victim, UbuntuVictim, RocksDBVictim]
     result = Table3Result()
+    tel = obs.get()
     for factory in factories:
         victim = factory()
         result.descriptions[victim.name] = getattr(victim, "description", "")
+        smart = SmartLog(victim.drive) if tel is not None else None
         coupling.apply(victim.drive, config)
         monitor = AvailabilityMonitor(victim.drive.clock)
         report = monitor.watch(
@@ -85,4 +111,15 @@ def run_table3(
             deadline_s=deadline_s,
         )
         result.reports[victim.name] = report
+        if tel is not None:
+            # Post-mortem forensics: final SMART sample + the victim's
+            # kernel log (when it has one) onto the shared timeline.
+            smart.sample()
+            result.smart_reports[victim.name] = smart.report()
+            kernel = getattr(victim, "kernel", None)
+            dmesg = getattr(kernel, "dmesg", None)
+            if dmesg is not None:
+                tel.tracer.ingest_dmesg(
+                    dmesg, track=f"victim/{victim.name}/dmesg"
+                )
     return result

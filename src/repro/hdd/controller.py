@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
 from repro.errors import ConfigurationError, DriveTimeout, MediumError
+from repro.obs import telemetry as obs
 from repro.rng import ReproRandom
 from repro.sim.clock import VirtualClock
 
@@ -83,6 +84,15 @@ class DriveController:
         # rather than enum-keyed so the hot path never hashes an enum.
         # Assumes profile timing fields are not mutated after
         # construction, like the geometry the profile already shares.
+        # Per-attempt tracing (seek/settle/transfer and retry
+        # revolutions as individual spans) only at the "attempts"
+        # detail level; a plain trace leaves the retry loop untouched.
+        tel = obs.get()
+        self._attempt_tracer = (
+            tel.tracer
+            if tel is not None and tel.tracer.detail == "attempts"
+            else None
+        )
         self._static_vibration: "VibrationInput | None" = None
         self._static_parked = False
         self._static_p_read: Optional[float] = None
@@ -204,6 +214,14 @@ class DriveController:
             attempts += 1
             if not first_attempt:
                 self.retries += 1
+            if self._attempt_tracer is not None:
+                self._attempt_tracer.record(
+                    "drive.attempt" if first_attempt else "drive.retry",
+                    self.clock.now - cost,
+                    self.clock.now,
+                    category="drive.attempt",
+                    args={"n": attempts},
+                )
             first_attempt = False
             if self.rng.chance(success_p):
                 break
@@ -316,6 +334,12 @@ class DriveController:
         clock.advance(base)
         now += base
         attempts = 1
+        atracer = self._attempt_tracer
+        if atracer is not None:
+            atracer.record(
+                "drive.attempt", now - base, now, category="drive.attempt",
+                args={"n": 1},
+            )
 
         # ``chance(p)`` is True without consuming a draw when p >= 1, so
         # skipping the call entirely keeps the RNG stream identical.
@@ -341,6 +365,11 @@ class DriveController:
                 now += retry_penalty
                 attempts += 1
                 self.retries += 1
+                if atracer is not None:
+                    atracer.record(
+                        "drive.retry", now - retry_penalty, now,
+                        category="drive.attempt", args={"n": attempts},
+                    )
                 if chance(success_p):
                     break
 

@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
-from repro.errors import ConfigurationError, UnitError
+from repro.errors import ConfigurationError, DriveTimeout, MediumError, UnitError
 from repro.rng import ReproRandom, make_rng
 from repro.sim.clock import VirtualClock
 from repro.units import SECTOR_SIZE
 from repro import perf
+from repro.obs import telemetry as obs
 
 from .controller import DriveController, IOResult, RetryPolicy
 from .profiles import DriveProfile, make_barracuda_profile
@@ -67,6 +68,10 @@ class HardDiskDrive:
         self._store = SectorStore()
         self._schedule: Optional[Callable[[float], Optional[VibrationInput]]] = None
         self._fast_path = perf.io_fast_path_enabled()
+        # Telemetry is captured at construction (like the perf flags):
+        # with nothing installed the I/O paths skip recording on a
+        # single ``is not None`` check.
+        self._obs = obs.get()
         # Hot-path caches: the addressable span (the geometry is fixed
         # for the drive's lifetime) and shared zero-filled read buffers
         # for payload-less mode (bytes are immutable, so one buffer per
@@ -175,13 +180,24 @@ class HardDiskDrive:
         written).  Raises DriveTimeout/MediumError under attack.
         """
         self._check_range(lba, sectors)
+        tel = self._obs
+        start = self.clock.now if tel is not None else 0.0
+        outcome = "ok"
         try:
             result = self._execute(OpKind.READ, lba, sectors)
+        except DriveTimeout:
+            outcome = "timeout"
+            raise
+        except MediumError:
+            outcome = "medium_error"
+            raise
         finally:
             # One sync covers both outcomes: the error paths leave via
             # the exception, the success path falls through before any
             # further controller activity.
             self._sync_counters()
+            if tel is not None:
+                self._record_command(tel, "read", start, sectors, outcome)
         self.stats.reads += 1
         self.stats.sectors_read += sectors
         if not self.store_data:
@@ -204,10 +220,21 @@ class HardDiskDrive:
                 f"payload of {len(data)} bytes does not match "
                 f"{sectors} sectors ({sectors * SECTOR_SIZE} bytes)"
             )
+        tel = self._obs
+        start = self.clock.now if tel is not None else 0.0
+        outcome = "ok"
         try:
             result = self._execute(OpKind.WRITE, lba, sectors)
+        except DriveTimeout:
+            outcome = "timeout"
+            raise
+        except MediumError:
+            outcome = "medium_error"
+            raise
         finally:
             self._sync_counters()
+            if tel is not None:
+                self._record_command(tel, "write", start, sectors, outcome)
         self.stats.writes += 1
         self.stats.sectors_written += sectors
         if self.store_data and data is not None:
@@ -230,6 +257,26 @@ class HardDiskDrive:
         self.stats.retries = self.controller.retries
         self.stats.medium_errors = self.controller.medium_errors
         self.stats.timeouts = self.controller.timeouts
+
+    def _record_command(
+        self, tel, op_label: str, start_s: float, sectors: int, outcome: str
+    ) -> None:
+        """Report one finished (or failed) command into the telemetry."""
+        end_s = self.clock.now
+        tel.tracer.record(
+            f"drive.{op_label}",
+            start_s,
+            end_s,
+            category="drive",
+            status="ok" if outcome == "ok" else "error",
+            args=None if outcome == "ok" else {"error": outcome},
+        )
+        metrics = tel.metrics
+        metrics.counter("drive_ops_total", op=op_label).inc()
+        metrics.counter("drive_sectors_total", op=op_label).inc(sectors)
+        metrics.histogram("drive_op_latency_s", op=op_label).observe(end_s - start_s)
+        if outcome != "ok":
+            metrics.counter("drive_errors_total", kind=outcome).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,65 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+One subsystem for everything the repro can observe about itself:
+
+* :mod:`~repro.obs.trace` — virtual-clock span tracing (plus the
+  zero-overhead :data:`NULL_TRACER` for the disabled path);
+* :mod:`~repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms with deterministic snapshot/merge for worker fan-out;
+* :mod:`~repro.obs.telemetry` — the installable process-wide bundle
+  components capture at construction;
+* :mod:`~repro.obs.exporters` — Chrome ``trace_event`` JSON (Perfetto),
+  JSONL event logs, Prometheus text dumps;
+* :mod:`~repro.obs.incident` — the correlated crash-story report.
+
+Quick start::
+
+    from repro import obs
+
+    with obs.session() as tel:
+        result = run_table3(seed=7)
+    obs.write_chrome_trace(tel.tracer, "table3-trace.json")
+"""
+
+from .exporters import (
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_text,
+)
+from .incident import build_incident_report
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .telemetry import Telemetry, enabled, get, install, session, tracer
+from .trace import NULL_TRACER, EventRecord, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "EventRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Telemetry",
+    "get",
+    "install",
+    "enabled",
+    "tracer",
+    "session",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "write_metrics_text",
+    "build_incident_report",
+]

@@ -1,0 +1,148 @@
+"""Serialize recorded telemetry for external viewers.
+
+Three formats, all deterministic for a given tracer/registry state:
+
+* **Chrome ``trace_event`` JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Virtual seconds
+  map to microseconds; each tracer track becomes its own named thread
+  row via ``thread_name`` metadata events.
+* **JSONL event log** — one JSON object per line, spans and instants
+  interleaved in virtual-time order, for ``grep``/``jq`` forensics.
+* **Prometheus text dump** — the registry's exposition format, written
+  to a file for the ``--metrics-out`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "write_metrics_text",
+]
+
+#: All simulated activity is "one process" in the viewer.
+_PID = 1
+
+
+def _track_ids(tracer) -> Dict[str, int]:
+    """Stable track → tid mapping: "main" first, the rest sorted."""
+    names = {s.track for s in tracer.spans} | {e.track for e in tracer.events}
+    ordered = (["main"] if "main" in names else []) + sorted(names - {"main"})
+    return {name: tid for tid, name in enumerate(ordered, start=1)}
+
+
+def chrome_trace(tracer) -> Dict[str, Any]:
+    """The tracer's records as a Chrome ``trace_event`` document."""
+    tids = _track_ids(tracer)
+    events: List[Dict[str, Any]] = []
+    for name, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for span in tracer.spans:
+        event = {
+            "ph": "X",
+            "pid": _PID,
+            "tid": tids[span.track],
+            "name": span.name,
+            "cat": span.category or "span",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+        }
+        args = dict(span.args) if span.args else {}
+        if span.status != "ok":
+            args["status"] = span.status
+        if args:
+            event["args"] = args
+        events.append(event)
+    for instant in tracer.events:
+        event = {
+            "ph": "i",
+            "pid": _PID,
+            "tid": tids[instant.track],
+            "name": instant.name,
+            "cat": instant.category or "event",
+            "ts": instant.ts_s * 1e6,
+            "s": "t",
+        }
+        if instant.args:
+            event["args"] = dict(instant.args)
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual",
+            "dropped_records": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer, path: str) -> None:
+    """Write :func:`chrome_trace` JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def jsonl_lines(tracer) -> List[str]:
+    """Spans and instants as JSON lines, sorted by virtual start time.
+
+    Ties sort spans before instants, then by track and name, so the
+    log is reproducible across runs.
+    """
+    records: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "cat": span.category,
+                "ts_s": span.start_s,
+                "end_s": span.end_s,
+                "dur_s": span.duration_s,
+                "track": span.track,
+                "status": span.status,
+                "args": span.args,
+            }
+        )
+    for instant in tracer.events:
+        records.append(
+            {
+                "type": "event",
+                "name": instant.name,
+                "cat": instant.category,
+                "ts_s": instant.ts_s,
+                "track": instant.track,
+                "args": instant.args,
+            }
+        )
+    records.sort(
+        key=lambda r: (r["ts_s"], 0 if r["type"] == "span" else 1, r["track"], r["name"])
+    )
+    return [json.dumps(record, sort_keys=True) for record in records]
+
+
+def write_jsonl(tracer, path: str) -> None:
+    """Write :func:`jsonl_lines` to ``path``, one record per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in jsonl_lines(tracer):
+            handle.write(line)
+            handle.write("\n")
+
+
+def write_metrics_text(registry, path: str) -> None:
+    """Write the registry's Prometheus text dump to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.render_prometheus())

@@ -1,0 +1,159 @@
+"""Incident reports: the Table 3 crash story as one artifact.
+
+The paper tells its availability story across four silos — the dmesg
+error chain, SMART anomalies, the blocked-write latency, and the final
+time-to-crash number.  :func:`build_incident_report` correlates what a
+run's tracer captured (error spans, kernel log events) with the
+monitor's crash reports, SMART forensics, and the metrics registry into
+a single markdown timeline an incident responder could read top to
+bottom.
+
+Everything is duck-typed: crash entries need ``application`` /
+``time_to_crash_s`` / ``error_output`` (``description`` optional),
+SMART inputs are pre-rendered report strings, so the builder imports
+nothing from ``hdd``/``core`` and stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["build_incident_report"]
+
+#: Timeline rows kept per report; earlier rows collapse into a marker.
+_MAX_TIMELINE_ROWS = 200
+
+
+def _crash_summary(crashes: Sequence[Tuple[str, Optional[Any]]]) -> List[str]:
+    lines = [
+        "| Application | Description | Time to crash | Error output |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, report in crashes:
+        if report is None:
+            lines.append(f"| {name} |  | survived | - |")
+        else:
+            description = getattr(report, "description", "")
+            lines.append(
+                f"| {name} | {description} | {report.time_to_crash_s:.1f} s "
+                f"| `{report.error_output}` |"
+            )
+    return lines
+
+
+def _timeline_rows(
+    tracer,
+    crashes: Sequence[Tuple[str, Optional[Any]]],
+) -> List[Tuple[float, str]]:
+    """(virtual time, rendered line) rows, unsorted.
+
+    Healthy spans are noise at incident scale, so only error-status
+    spans make the cut; instant events (kernel log lines, crash
+    markers, retry bursts) all do.
+    """
+    rows: List[Tuple[float, str]] = []
+    if tracer is not None:
+        for span in tracer.spans:
+            if span.status == "ok":
+                continue
+            rows.append(
+                (
+                    span.start_s,
+                    f"`{span.track}` span **{span.name}** failed after "
+                    f"{span.duration_s:.3f} s",
+                )
+            )
+        for event in tracer.events:
+            detail = ""
+            if event.args:
+                text = event.args.get("text") or event.args.get("message")
+                if text:
+                    detail = f" — `{text}`"
+            rows.append((event.ts_s, f"`{event.track}` {event.name}{detail}"))
+    for name, report in crashes:
+        if report is not None:
+            rows.append(
+                (
+                    report.time_to_crash_s,
+                    f"**CRASH** {name}: `{report.error_output}` "
+                    f"(t+{report.time_to_crash_s:.1f} s into the attack window)",
+                )
+            )
+    return rows
+
+
+def _metrics_headlines(metrics) -> List[str]:
+    """The counter totals, one line each, sorted by name."""
+    totals: Dict[str, int] = {}
+    for name, _labels, value in metrics.snapshot()["counters"]:
+        totals[name] = totals.get(name, 0) + value
+    return [f"- `{name}`: {value}" for name, value in sorted(totals.items())]
+
+
+def build_incident_report(
+    crashes: Sequence[Tuple[str, Optional[Any]]],
+    tracer=None,
+    metrics=None,
+    smart_reports: Optional[Dict[str, str]] = None,
+    title: str = "Incident report: storage availability under acoustic attack",
+) -> str:
+    """Render the correlated incident timeline as markdown.
+
+    Args:
+        crashes: ``(application name, crash report or None)`` pairs, in
+            the order the victims were attacked.
+        tracer: optional tracer whose error spans and instant events
+            (including ingested dmesg lines) populate the timeline.
+        metrics: optional registry; counter totals become the
+            "by the numbers" section.
+        smart_reports: optional per-application pre-rendered
+            :meth:`~repro.hdd.smart.SmartLog.report` strings.
+    """
+    sections: List[str] = [f"# {title}", ""]
+
+    crashed = [name for name, report in crashes if report is not None]
+    survived = [name for name, report in crashes if report is None]
+    verdict = (
+        f"{len(crashed)}/{len(list(crashes))} applications crashed"
+        + (f" ({', '.join(crashed)})" if crashed else "")
+        + (f"; survived: {', '.join(survived)}" if survived else "")
+        + "."
+    )
+    sections.append(verdict)
+    sections.append("")
+
+    sections.append("## Crash summary")
+    sections.append("")
+    sections.extend(_crash_summary(crashes))
+    sections.append("")
+
+    rows = _timeline_rows(tracer, crashes)
+    rows.sort(key=lambda row: (row[0], row[1]))
+    sections.append("## Timeline (virtual seconds)")
+    sections.append("")
+    if not rows:
+        sections.append("_No timeline records captured (run with `--trace`)._")
+    else:
+        omitted = len(rows) - _MAX_TIMELINE_ROWS
+        if omitted > 0:
+            sections.append(f"_... {omitted} earlier entries omitted ..._")
+            rows = rows[omitted:]
+        for ts_s, line in rows:
+            sections.append(f"- `t+{ts_s:10.3f}s` {line}")
+    sections.append("")
+
+    if metrics is not None and len(metrics):
+        sections.append("## By the numbers")
+        sections.append("")
+        sections.extend(_metrics_headlines(metrics))
+        sections.append("")
+
+    for name, report_text in sorted((smart_reports or {}).items()):
+        sections.append(f"## SMART forensics: {name}")
+        sections.append("")
+        sections.append("```")
+        sections.append(report_text)
+        sections.append("```")
+        sections.append("")
+
+    return "\n".join(sections).rstrip() + "\n"

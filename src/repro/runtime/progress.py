@@ -23,13 +23,15 @@ _STDERR = object()
 def _format_eta(seconds: float) -> str:
     if seconds < 0.0 or seconds != seconds:  # negative or NaN
         return "--"
-    if seconds < 60.0:
+    if seconds < 59.95:
+        # Anything that would render as "60.0s" belongs in the minute
+        # branch below (no more "60.0s" / "59m60s" carry artifacts).
         return f"{seconds:.1f}s"
-    minutes, rest = divmod(seconds, 60.0)
-    if minutes < 60.0:
-        return f"{int(minutes)}m{rest:02.0f}s"
-    hours, minutes = divmod(minutes, 60.0)
-    return f"{int(hours)}h{int(minutes):02d}m"
+    total_minutes, rest = divmod(int(round(seconds)), 60)
+    if total_minutes < 60:
+        return f"{total_minutes}m{rest:02d}s"
+    hours, minutes = divmod(total_minutes, 60)
+    return f"{hours}h{minutes:02d}m"
 
 
 class ProgressReporter:
@@ -44,6 +46,10 @@ class ProgressReporter:
         min_interval_s: wall-time throttle between printed lines (the
             final summary always prints).
         time_fn: monotonic time source, injectable for tests.
+        telemetry: optional :class:`~repro.obs.telemetry.Telemetry`
+            bundle; each advanced point bumps
+            ``campaign_points_total{source="fresh"|"cached"}`` on its
+            metrics registry.
     """
 
     def __init__(
@@ -53,12 +59,14 @@ class ProgressReporter:
         stream: object = _STDERR,
         min_interval_s: float = 0.5,
         time_fn: Callable[[], float] = time.monotonic,
+        telemetry=None,
     ) -> None:
         self.total = max(0, int(total))
         self.label = label
         self.stream: Optional[TextIO] = sys.stderr if stream is _STDERR else stream
         self.min_interval_s = min_interval_s
         self._time_fn = time_fn
+        self.telemetry = telemetry
         self.completed = 0
         self.cached = 0
         self._started_at: Optional[float] = None
@@ -77,6 +85,12 @@ class ProgressReporter:
         self.completed += 1
         if cached:
             self.cached += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "campaign_points_total",
+                label=self.label,
+                source="cached" if cached else "fresh",
+            ).inc()
         now = self._time_fn()
         if self.completed >= self.total or now - self._last_emit_at >= self.min_interval_s:
             self._last_emit_at = now
@@ -107,19 +121,38 @@ class ProgressReporter:
         return self.completed / elapsed
 
     @property
+    def fresh(self) -> int:
+        """Points actually measured (not served from the cache)."""
+        return self.completed - self.cached
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed points served from the cache."""
+        if self.completed == 0:
+            return 0.0
+        return self.cached / self.completed
+
+    @property
     def eta_s(self) -> float:
-        """Estimated seconds remaining at the current rate."""
+        """Estimated seconds remaining at the current rate.
+
+        0.0 once nothing remains (including the ``total=0`` campaign);
+        NaN while no rate is measurable yet.
+        """
+        if self.total <= self.completed:
+            return 0.0
         rate = self.points_per_second
         if rate <= 0.0:
             return float("nan")
-        return max(0, self.total - self.completed) / rate
+        return (self.total - self.completed) / rate
 
     def summary(self) -> str:
-        """One-line campaign summary (rate, cache hits, elapsed)."""
+        """One-line campaign summary: fresh and cached rates separately."""
         return (
             f"[{self.label}] {self.completed}/{self.total} points in "
-            f"{self.elapsed_s:.1f}s ({self.points_per_second:.1f} points/s, "
-            f"{self.cached} from cache)"
+            f"{self.elapsed_s:.1f}s ({self.points_per_second:.1f} points/s: "
+            f"{self.fresh} fresh, {self.cached} from cache "
+            f"[{100.0 * self.cache_hit_rate:.0f}% hit])"
         )
 
     def _emit(self, now: float) -> None:

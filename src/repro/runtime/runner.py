@@ -28,11 +28,32 @@ import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
 
 from repro.errors import ConfigurationError, WorkerCrashed
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import Telemetry
 
 from .cache import ResultCache
 from .progress import ProgressReporter, _STDERR
 
 __all__ = ["SweepRunner", "make_runner"]
+
+
+def _telemetry_point_job(fn: Callable[[Any], Any], spec: Any):
+    """Run one point under a fresh telemetry bundle.
+
+    Used for every pending point — in-process and in worker processes
+    alike — whenever the parent has telemetry installed.  Isolating each
+    point in its own bundle and merging the snapshots back in spec-index
+    order makes the aggregated totals *identical* at any worker count:
+    counters add the same per-point integers in the same order, and
+    histogram sums add the same per-point floats in the same order.
+    """
+    bundle = Telemetry()
+    previous = obs.install(bundle)
+    try:
+        result = fn(spec)
+    finally:
+        obs.install(previous)
+    return result, bundle.tracer.snapshot(), bundle.metrics.snapshot()
 
 
 def make_runner(
@@ -117,10 +138,15 @@ class SweepRunner:
                     "a cache requires encode and decode functions"
                 )
 
+        # Telemetry is sampled per map() call: campaigns install a
+        # bundle (obs.session) around the whole run, and the runner
+        # forwards per-point telemetry from workers back into it.
+        telemetry = obs.get()
         reporter = ProgressReporter(
             total=len(specs),
             label=label,
             stream=self.progress_stream if self.progress else None,
+            telemetry=telemetry,
         )
         self._last_reporter = reporter
         reporter.start()
@@ -137,7 +163,9 @@ class SweepRunner:
             pending.append(index)
 
         if pending:
-            if self.workers == 1:
+            if telemetry is not None:
+                self._run_with_telemetry(fn, specs, pending, results, reporter, telemetry)
+            elif self.workers == 1:
                 for index in pending:
                     results[index] = fn(specs[index])
                     reporter.advance()
@@ -150,6 +178,54 @@ class SweepRunner:
         if self.progress:
             reporter.finish()
         return results
+
+    def _run_with_telemetry(
+        self,
+        fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        pending: Sequence[int],
+        results: List[Any],
+        reporter: ProgressReporter,
+        telemetry: Telemetry,
+    ) -> None:
+        """Run pending points, each in a fresh bundle, and merge.
+
+        Snapshots are folded back in spec-index order regardless of
+        completion order, so the merged totals are float-identical
+        between ``workers=1`` and any pool size.
+        """
+        snapshots: Dict[int, Any] = {}
+        if self.workers == 1:
+            for index in pending:
+                results[index], trace_snap, metric_snap = _telemetry_point_job(
+                    fn, specs[index]
+                )
+                snapshots[index] = (trace_snap, metric_snap)
+                reporter.advance()
+        else:
+            max_workers = min(self.workers, len(pending))
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=max_workers
+                ) as pool:
+                    futures = {
+                        pool.submit(_telemetry_point_job, fn, specs[index]): index
+                        for index in pending
+                    }
+                    for future in concurrent.futures.as_completed(futures):
+                        index = futures[future]
+                        results[index], trace_snap, metric_snap = future.result()
+                        snapshots[index] = (trace_snap, metric_snap)
+                        reporter.advance()
+            except concurrent.futures.process.BrokenProcessPool as exc:
+                raise WorkerCrashed(
+                    f"a campaign worker died after {reporter.completed} of "
+                    f"{reporter.total} points (pid {os.getpid()} lost its pool): {exc}"
+                ) from exc
+        for index in pending:
+            trace_snap, metric_snap = snapshots[index]
+            telemetry.tracer.ingest(trace_snap)
+            telemetry.metrics.merge(metric_snap)
 
     def _run_pool(
         self,

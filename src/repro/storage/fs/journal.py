@@ -27,6 +27,7 @@ from repro.errors import (
     JournalAbort,
     ReadOnlyFilesystem,
 )
+from repro.obs import telemetry as obs
 from repro.storage.block import BlockDevice
 
 __all__ = ["Transaction", "JournalStats", "Journal"]
@@ -90,6 +91,7 @@ class Journal:
         self._running: Optional[Transaction] = None
         self._head = 0  # ring cursor, relative to start_block
         self._last_commit_time = device.clock.now
+        self._obs = obs.get()
 
     # -- transaction lifecycle -------------------------------------------------
 
@@ -177,6 +179,40 @@ class Journal:
             )
         self._running = None
         blocks = sorted(txn.updates.items())
+        tel = self._obs
+        start = self.device.clock.now if tel is not None else 0.0
+        try:
+            self._write_commit(txn, blocks)
+        except JournalAbort:
+            if tel is not None:
+                tel.tracer.record(
+                    "journal.commit",
+                    start,
+                    self.device.clock.now,
+                    category="fs",
+                    status="error",
+                    args={"tid": txn.tid, "error": "abort -5"},
+                )
+                tel.metrics.counter("journal_aborts_total").inc()
+            raise
+        if tel is not None:
+            end = self.device.clock.now
+            tel.tracer.record(
+                "journal.commit",
+                start,
+                end,
+                category="fs",
+                args={"tid": txn.tid, "blocks": txn.block_count},
+            )
+            tel.metrics.counter("journal_commits_total").inc()
+            tel.metrics.counter("journal_blocks_logged_total").inc(txn.block_count)
+            tel.metrics.histogram("journal_commit_latency_s").observe(end - start)
+        self.stats.commits += 1
+        self._last_commit_time = self.device.clock.now
+
+    def _write_commit(self, txn: Transaction, blocks) -> None:
+        """The on-disk half of :meth:`commit` (descriptor, data,
+        commit record, checkpoint)."""
         try:
             descriptor = json.dumps(
                 {"tid": txn.tid, "blocks": [b for b, _ in blocks]}
@@ -203,8 +239,6 @@ class Journal:
             self.stats.checkpoints += 1
         except BlockIOError as cause:
             self.abort(cause)
-        self.stats.commits += 1
-        self._last_commit_time = self.device.clock.now
 
     def abort(self, cause: Exception) -> None:
         """Abort the journal (error -5) — the Ext4 crash of Table 3."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import telemetry as obs
 from repro.storage.fs.filesystem import SimFS
 
 from .memtable import TOMBSTONE
@@ -67,6 +68,7 @@ class Compactor:
         self.live_snapshots = live_snapshots if live_snapshots is not None else (lambda: [])
         self.compactions_run = 0
         self.bytes_compacted = 0
+        self._obs = obs.get()
 
     # -- planning -------------------------------------------------------------
 
@@ -116,6 +118,28 @@ class Compactor:
 
     def run(self, plan: CompactionPlan) -> VersionEdit:
         """Execute ``plan``: merge, write outputs, log the edit."""
+        tel = self._obs
+        if tel is None:
+            return self._run(plan)
+        start = self.fs.device.clock.now
+        bytes_before = self.bytes_compacted
+        with tel.tracer.span(
+            f"kv.compaction.L{plan.level}",
+            self.fs.device.clock,
+            category="kv",
+            args={"inputs": len(plan.inputs), "overlapping": len(plan.overlapping)},
+        ):
+            edit = self._run(plan)
+        tel.metrics.counter("kv_compactions_total", level=plan.level).inc()
+        tel.metrics.counter("kv_compacted_bytes_total").inc(
+            self.bytes_compacted - bytes_before
+        )
+        tel.metrics.histogram("kv_compaction_latency_s").observe(
+            self.fs.device.clock.now - start
+        )
+        return edit
+
+    def _run(self, plan: CompactionPlan) -> VersionEdit:
         sources = plan.inputs + plan.overlapping
         streams = []
         for meta in sources:

@@ -23,6 +23,7 @@ from repro.errors import (
     DatabaseClosed,
     WALSyncError,
 )
+from repro.obs import telemetry as obs
 from repro.rng import ReproRandom, make_rng
 from repro.storage.fs.filesystem import SimFS
 
@@ -169,6 +170,7 @@ class DB:
         self.stats = DBStats()
         self.closed = False
         self.fatal_error: Optional[Exception] = None
+        self._obs = obs.get()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -306,6 +308,8 @@ class DB:
         self._check_usable()
         if len(self.memtable) == 0:
             return None
+        tel = self._obs
+        flush_start = self.clock.now if tel is not None else 0.0
         try:
             self.wal.sync()  # everything in the table must be durable first
         except WALSyncError as err:
@@ -333,6 +337,16 @@ class DB:
         self.memtable = MemTable(self.rng.fork(f"memtable/{number}"))
         self._rotate_wal()
         self.stats.flushes += 1
+        if tel is not None:
+            tel.tracer.record(
+                "kv.flush",
+                flush_start,
+                self.clock.now,
+                category="kv",
+                args={"entries": meta.entries, "bytes": size},
+            )
+            tel.metrics.counter("kv_flushes_total").inc()
+            tel.metrics.counter("kv_flushed_bytes_total").inc(size)
         self.compactor.maybe_compact()
         return meta
 

@@ -27,6 +27,7 @@ from repro.errors import (
     ReadOnlyFilesystem,
     WALSyncError,
 )
+from repro.obs import telemetry as obs
 from repro.storage.fs.filesystem import SimFS
 
 __all__ = ["WALWriter", "WALReader"]
@@ -54,6 +55,7 @@ class WALWriter:
         self.records = 0
         self.syncs = 0
         self.failed = False
+        self._obs = obs.get()
         if not fs.exists(path):
             fs.create(path)
 
@@ -78,15 +80,35 @@ class WALWriter:
         if not self._buffer:
             return
         payload = bytes(self._buffer)
+        tel = self._obs
+        start = self.fs.device.clock.now if tel is not None else 0.0
         try:
             self.fs.append(self.path, payload)
             self.fs.fsync(self.path)
         except (BlockIOError, ReadOnlyFilesystem, FilesystemError) as cause:
             self.failed = True
+            if tel is not None:
+                tel.tracer.record(
+                    "wal.sync",
+                    start,
+                    self.fs.device.clock.now,
+                    category="kv",
+                    status="error",
+                    args={"bytes": len(payload), "error": "sync_without_flush"},
+                )
+                tel.metrics.counter("wal_sync_failures_total").inc()
             raise WALSyncError(
                 "sync_without_flush_called: WAL persistence failed — "
                 f"key-value pairs cannot reach the drive ({cause})"
             ) from cause
+        if tel is not None:
+            end = self.fs.device.clock.now
+            tel.tracer.record(
+                "wal.sync", start, end, category="kv", args={"bytes": len(payload)}
+            )
+            tel.metrics.counter("wal_syncs_total").inc()
+            tel.metrics.counter("wal_synced_bytes_total").inc(len(payload))
+            tel.metrics.histogram("wal_sync_latency_s").observe(end - start)
         self._buffer.clear()
         self.synced_bytes += len(payload)
         self.unsynced_bytes = 0

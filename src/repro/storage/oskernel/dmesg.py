@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.clock import VirtualClock
@@ -72,3 +72,43 @@ class DmesgBuffer:
     def last(self) -> Optional[DmesgEntry]:
         """The most recent entry, if any."""
         return self._entries[-1] if self._entries else None
+
+    @property
+    def evicted(self) -> int:
+        """Entries the ring has pushed out to make room.
+
+        Unlike a real dmesg ring there is no separate "suppressed"
+        path: every overflow is an eviction, so this is :attr:`dropped`
+        under the name the forensics tooling uses.
+        """
+        return self.dropped
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """The surviving entries as telemetry instant events.
+
+        Each event carries the line's virtual-clock timestamp so trace
+        exporters place kernel messages on the same timeline as drive
+        and application spans.  When the ring has evicted entries, a
+        leading marker event (stamped at the oldest surviving line)
+        records how many are gone.
+        """
+        events: List[Dict[str, Any]] = []
+        if self.dropped and self._entries:
+            events.append(
+                {
+                    "name": "dmesg.evicted",
+                    "ts_s": self._entries[0].timestamp,
+                    "category": "dmesg",
+                    "args": {"count": self.dropped},
+                }
+            )
+        for entry in self._entries:
+            events.append(
+                {
+                    "name": f"dmesg.{entry.level}",
+                    "ts_s": entry.timestamp,
+                    "category": "dmesg",
+                    "args": {"text": entry.message},
+                }
+            )
+        return events

@@ -19,6 +19,7 @@ from typing import List, MutableSequence, Optional
 from repro.analysis.stats import percentile
 from repro.errors import ConfigurationError, DriveTimeout, MediumError
 from repro.hdd.drive import HardDiskDrive
+from repro.obs import telemetry as obs
 from repro.rng import ReproRandom, make_rng
 from repro.units import BLOCK_4K, SECTOR_SIZE
 
@@ -159,6 +160,7 @@ class FioTester:
     def __init__(self, drive: HardDiskDrive, rng: Optional[ReproRandom] = None) -> None:
         self.drive = drive
         self.rng = rng if rng is not None else make_rng().fork("fio")
+        self._obs = obs.get()
 
     def _next_lba(self, job: FioJob, cursor: int) -> int:
         region_end = min(
@@ -236,6 +238,36 @@ class FioTester:
         result.total_latency_s = total_latency
         result.max_latency_s = max_latency
         result.busy_time_s = clock.elapsed_since(start)
+        tel = self._obs
+        if tel is not None:
+            # Aggregates only, pushed after the loop: the per-op issue
+            # path stays exactly as hot as with telemetry off (the
+            # drive records the per-command spans).
+            tel.tracer.record(
+                f"fio.{job.mode.value}",
+                start,
+                clock.now,
+                category="fio",
+                status="ok" if result.responded else "error",
+                args={
+                    "completed": completed_ops,
+                    "timeouts": timeout_ops,
+                    "errors": error_ops,
+                },
+            )
+            metrics = tel.metrics
+            mode = job.mode.value
+            metrics.counter("fio_ops_total", mode=mode, outcome="completed").inc(
+                completed_ops
+            )
+            metrics.counter("fio_ops_total", mode=mode, outcome="timeout").inc(
+                timeout_ops
+            )
+            metrics.counter("fio_ops_total", mode=mode, outcome="error").inc(error_ops)
+            metrics.counter("fio_bytes_total", mode=mode).inc(result.bytes_moved)
+            histogram = metrics.histogram("fio_op_latency_s", mode=mode)
+            for latency in latencies:
+                histogram.observe(latency)
         return result
 
     def run_suite(self, jobs: List[FioJob]) -> List[FioResult]:

@@ -1,0 +1,265 @@
+"""The telemetry core: tracer, metrics registry, and the switchboard.
+
+Determinism is the recurring theme — snapshots and renders must be
+byte-stable, merges must be order-preserving arithmetic, and the
+disabled path must be indistinguishable from no telemetry at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+from repro.sim.clock import VirtualClock
+from repro.storage.oskernel.dmesg import DmesgBuffer
+
+
+class TestTracer:
+    def test_record_and_find(self):
+        tracer = obs.Tracer()
+        tracer.record("drive.read", 1.0, 1.5, category="drive")
+        tracer.record("drive.write", 2.0, 2.25, category="drive")
+        spans = tracer.find_spans("drive.read")
+        assert len(spans) == 1
+        assert spans[0].duration_s == pytest.approx(0.5)
+        assert spans[0].track == "main"
+        assert len(tracer) == 2
+
+    def test_span_context_stamps_virtual_clock(self):
+        clock = VirtualClock()
+        tracer = obs.Tracer()
+        with tracer.span("op", clock, category="test"):
+            clock.advance(3.0)
+        (span,) = tracer.spans
+        assert span.start_s == 0.0
+        assert span.end_s == 3.0
+        assert span.status == "ok"
+
+    def test_span_marks_error_and_reraises(self):
+        clock = VirtualClock()
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("op", clock):
+                clock.advance(1.0)
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.end_s == 1.0
+
+    def test_track_stack_nests_and_restores(self):
+        tracer = obs.Tracer()
+        assert tracer.current_track == "main"
+        with tracer.track("point/650Hz"):
+            tracer.record("a", 0.0, 1.0)
+            with tracer.track("inner"):
+                tracer.record("b", 1.0, 2.0)
+            tracer.record("c", 2.0, 3.0)
+        tracer.record("d", 3.0, 4.0)
+        assert [s.track for s in tracer.spans] == [
+            "point/650Hz",
+            "inner",
+            "point/650Hz",
+            "main",
+        ]
+
+    def test_max_records_bounds_and_counts_drops(self):
+        tracer = obs.Tracer(max_records=2)
+        tracer.record("a", 0.0, 1.0)
+        tracer.instant("b", 1.0)
+        tracer.record("c", 2.0, 3.0)
+        tracer.instant("d", 3.0)
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            obs.Tracer(max_records=0)
+        with pytest.raises(ConfigurationError):
+            obs.Tracer(detail="everything")
+
+    def test_snapshot_ingest_round_trip(self):
+        source = obs.Tracer()
+        with source.track("worker"):
+            source.record("op", 0.5, 1.0, category="c", status="error", args={"n": 1})
+            source.instant("tick", 0.75, args={"k": "v"})
+        sink = obs.Tracer()
+        sink.ingest(source.snapshot())
+        assert sink.snapshot() == source.snapshot()
+        prefixed = obs.Tracer()
+        prefixed.ingest(source.snapshot(), track_prefix="w0/")
+        assert prefixed.spans[0].track == "w0/worker"
+
+    def test_ingest_dmesg_copies_lines_onto_track(self):
+        clock = VirtualClock()
+        buffer = DmesgBuffer(clock)
+        buffer.log("Buffer I/O error on dev sda1")
+        clock.advance(2.0)
+        buffer.log("journal commit I/O error")
+        tracer = obs.Tracer()
+        assert tracer.ingest_dmesg(buffer, track="victim/dmesg") == 2
+        assert [e.ts_s for e in tracer.events] == [0.0, 2.0]
+        assert all(e.track == "victim/dmesg" for e in tracer.events)
+        assert tracer.events[0].name == "dmesg.err"
+
+
+class TestNullTracer:
+    def test_every_method_is_inert(self):
+        null = obs.NULL_TRACER
+        clock = VirtualClock()
+        with null.track("anything"):
+            with null.span("op", clock):
+                null.record("a", 0.0, 1.0)
+                null.instant("b", 0.5)
+        assert len(null) == 0
+        assert null.snapshot() == {"spans": [], "events": [], "dropped": 0}
+        assert null.find_spans("a") == []
+        assert null.enabled is False
+
+    def test_span_context_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with obs.NULL_TRACER.span("op", VirtualClock()):
+                raise RuntimeError("must escape")
+
+
+class TestDmesgEvents:
+    def test_eviction_marker_leads_the_export(self):
+        clock = VirtualClock()
+        buffer = DmesgBuffer(clock, capacity=2)
+        for n in range(4):
+            clock.advance(1.0)
+            buffer.log(f"line {n}")
+        assert buffer.evicted == 2
+        events = buffer.to_events()
+        assert events[0]["name"] == "dmesg.evicted"
+        assert events[0]["args"] == {"count": 2}
+        assert events[0]["ts_s"] == events[1]["ts_s"]
+        assert [e["args"]["text"] for e in events[1:]] == ["line 2", "line 3"]
+
+    def test_no_marker_without_evictions(self):
+        buffer = DmesgBuffer(VirtualClock())
+        buffer.log("hello", level="info")
+        events = buffer.to_events()
+        assert [e["name"] for e in events] == ["dmesg.info"]
+
+
+class TestMetrics:
+    def test_counter_identity_and_totals(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("ops", op="read").inc()
+        registry.counter("ops", op="read").inc(2)
+        registry.counter("ops", op="write").inc(5)
+        assert registry.counter_value("ops", op="read") == 3
+        assert registry.counter_value("ops", op="fsync") == 0
+        assert registry.counter_total("ops") == 8
+
+    def test_counters_reject_negative_increments(self):
+        with pytest.raises(ConfigurationError):
+            obs.MetricsRegistry().counter("ops").inc(-1)
+
+    def test_label_order_does_not_split_series(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        registry.counter("x", b="2", a="1").inc()
+        assert registry.counter_value("x", a="1", b="2") == 2
+        assert len(registry) == 1
+
+    def test_gauge_set_and_add(self):
+        gauge = obs.MetricsRegistry().gauge("depth")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == pytest.approx(2.5)
+
+    def test_histogram_buckets_and_percentile(self):
+        hist = obs.Histogram(bounds=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+        assert hist.percentile(50.0) == 1.0
+        assert hist.percentile(100.0) == 10.0
+
+    def test_histogram_bounds_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            obs.Histogram(bounds=[1.0, 0.5])
+        with pytest.raises(ConfigurationError):
+            obs.Histogram(bounds=[])
+
+    def test_histogram_bounds_conflict_detected(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("lat", bounds=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            registry.histogram("lat", bounds=[1.0, 3.0])
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = obs.MetricsRegistry()
+        b = obs.MetricsRegistry()
+        for registry, n in ((a, 1), (b, 2)):
+            registry.counter("ops", op="read").inc(n)
+            registry.gauge("level").set(float(n))
+            registry.histogram("lat", bounds=[1.0]).observe(0.5 * n)
+        a.merge(b.snapshot())
+        assert a.counter_value("ops", op="read") == 3
+        assert a.gauge("level").value == 2.0  # last writer wins
+        merged = a.histogram("lat", bounds=[1.0])
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(1.5)
+
+    def test_merge_into_empty_registry_equals_source(self):
+        source = obs.MetricsRegistry()
+        source.counter("c", k="v").inc(7)
+        source.histogram("h").observe(0.3)
+        sink = obs.MetricsRegistry()
+        sink.merge(source.snapshot())
+        assert sink.snapshot() == source.snapshot()
+
+    def test_render_prometheus_shape(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("ops_total", op="read").inc(3)
+        registry.gauge("queue_depth").set(2)
+        registry.histogram("lat_s", bounds=[0.1, 1.0]).observe(0.05)
+        text = registry.render_prometheus()
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{op="read"} 3' in text
+        assert "queue_depth 2" in text
+        assert 'lat_s_bucket{le="0.1"} 1' in text
+        assert 'lat_s_bucket{le="+Inf"} 1' in text
+        assert "lat_s_count 1" in text
+        assert text.endswith("\n")
+        assert registry.render_prometheus() == text  # stable
+
+
+class TestSwitchboard:
+    def test_disabled_by_default(self):
+        assert obs.get() is None
+        assert not obs.enabled()
+        assert obs.tracer() is obs.NULL_TRACER
+
+    def test_session_installs_and_restores(self):
+        with obs.session() as tel:
+            assert obs.get() is tel
+            assert obs.enabled()
+            assert obs.tracer() is tel.tracer
+        assert obs.get() is None
+
+    def test_session_restores_previous_bundle_on_error(self):
+        outer = Telemetry()
+        previous = obs.install(outer)
+        try:
+            with pytest.raises(RuntimeError):
+                with obs.session():
+                    assert obs.get() is not outer
+                    raise RuntimeError("boom")
+            assert obs.get() is outer
+        finally:
+            obs.install(previous)
+
+    def test_session_accepts_prebuilt_bundle(self):
+        bundle = Telemetry(tracer=obs.Tracer(detail="attempts"))
+        with obs.session(bundle) as tel:
+            assert tel is bundle
+            assert obs.get().tracer.detail == "attempts"

@@ -1,0 +1,140 @@
+"""Exporter formats: Chrome trace_event JSON, JSONL, Prometheus text.
+
+The Chrome documents are additionally run through the same structural
+validator CI uses (``tools/validate_trace.py``), so the test suite and
+the CI gate can never disagree about what a well-formed trace is.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro import obs
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+from validate_trace import validate_trace  # noqa: E402
+
+
+def _sample_tracer() -> obs.Tracer:
+    tracer = obs.Tracer()
+    with tracer.track("victim/Ext4"):
+        tracer.record("monitor.watch", 0.0, 80.25, category="monitor")
+        tracer.record(
+            "journal.commit", 10.0, 10.5, category="fs", status="error",
+            args={"tid": 7},
+        )
+        tracer.instant("crash", 80.25, category="monitor", args={"error": "-5"})
+    tracer.record("sweep.point", 0.0, 1.0, category="attack")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_passes_the_ci_validator(self):
+        assert validate_trace(obs.chrome_trace(_sample_tracer())) == []
+
+    def test_track_rows_are_stable(self):
+        doc = obs.chrome_trace(_sample_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["main", "victim/Ext4"]
+        assert [m["tid"] for m in meta] == [1, 2]
+
+    def test_times_are_microseconds(self):
+        doc = obs.chrome_trace(_sample_tracer())
+        watch = next(e for e in doc["traceEvents"] if e["name"] == "monitor.watch")
+        assert watch["ts"] == 0.0
+        assert watch["dur"] == pytest.approx(80.25e6)
+        crash = next(e for e in doc["traceEvents"] if e["name"] == "crash")
+        assert crash["ph"] == "i"
+        assert crash["ts"] == pytest.approx(80.25e6)
+
+    def test_error_status_lands_in_args(self):
+        doc = obs.chrome_trace(_sample_tracer())
+        commit = next(e for e in doc["traceEvents"] if e["name"] == "journal.commit")
+        assert commit["args"] == {"tid": 7, "status": "error"}
+
+    def test_other_data_declares_virtual_clock(self):
+        doc = obs.chrome_trace(_sample_tracer())
+        assert doc["otherData"]["clock"] == "virtual"
+        assert doc["otherData"]["dropped_records"] == 0
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(_sample_tracer(), str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_trace(loaded) == []
+        assert loaded == json.loads(
+            json.dumps(obs.chrome_trace(_sample_tracer()), sort_keys=True)
+        )
+
+    def test_empty_tracer_is_still_valid(self):
+        doc = obs.chrome_trace(obs.Tracer())
+        assert doc["traceEvents"] == []
+        assert validate_trace(doc) == []
+
+
+class TestJsonl:
+    def test_lines_sorted_by_virtual_time(self):
+        lines = [json.loads(line) for line in obs.jsonl_lines(_sample_tracer())]
+        assert [r["ts_s"] for r in lines] == sorted(r["ts_s"] for r in lines)
+        # The tie at t=0 puts both spans before any instant.
+        assert [r["type"] for r in lines] == ["span", "span", "span", "event"]
+
+    def test_span_records_carry_duration_and_status(self):
+        lines = [json.loads(line) for line in obs.jsonl_lines(_sample_tracer())]
+        commit = next(r for r in lines if r["name"] == "journal.commit")
+        assert commit["status"] == "error"
+        assert commit["dur_s"] == pytest.approx(0.5)
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.write_jsonl(_sample_tracer(), str(path))
+        content = path.read_text().splitlines()
+        assert content == obs.jsonl_lines(_sample_tracer())
+
+
+class TestMetricsText:
+    def test_write_metrics_text(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        registry.counter("ops_total", op="read").inc(4)
+        path = tmp_path / "metrics.prom"
+        obs.write_metrics_text(registry, str(path))
+        assert path.read_text() == registry.render_prometheus()
+
+
+class TestValidatorRejects:
+    """The CI validator must actually catch malformed documents."""
+
+    def test_rejects_non_object(self):
+        assert validate_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_trace({"otherData": {}}) != []
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "name": "x"}]}
+        assert any("ph" in error for error in validate_trace(doc))
+
+    def test_rejects_span_without_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+                 "args": {"name": "main"}},
+                {"ph": "X", "pid": 1, "tid": 1, "name": "x", "cat": "c", "ts": 0.0},
+            ]
+        }
+        assert any("dur" in error for error in validate_trace(doc))
+
+    def test_rejects_unnamed_tid(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+                 "args": {"name": "main"}},
+                {"ph": "i", "pid": 1, "tid": 9, "name": "x", "cat": "c",
+                 "ts": 1.0, "s": "t"},
+            ]
+        }
+        assert any("tid 9" in error for error in validate_trace(doc))

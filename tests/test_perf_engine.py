@@ -196,6 +196,106 @@ class TestSweepCacheCorrectness:
         assert fast == slow
 
 
+class TestTelemetryOffIdentity:
+    """With no telemetry bundle installed, the instrumented tree must be
+    the pre-telemetry tree: same digests over the campaign numbers and
+    the same RNG draw counts, hardcoded from the commit before the
+    observability layer landed."""
+
+    #: sha256 over the sweep rows below, measured on the pre-telemetry
+    #: tree (commit 80ec17f) with seed 5 / runtime 0.3.
+    SWEEP_DIGEST = "9a55754b7f4827a3e99d2e05335d677d7066d356dd55f91087a71a8b00e1fe37"
+    SWEEP_DRAWS = 0  # every sweep frequency lands in a p=0/p=1 regime
+    #: Same protocol over the range test at 0.10/0.12/0.15 m, where the
+    #: success probabilities are fractional and chance() draws 2866 times.
+    RANGE_DIGEST = "7ff4c9d66bf7caa70beae83bc53219003a681280e575827c3eecdd293cd4e77d"
+    RANGE_DRAWS = 2866
+
+    @staticmethod
+    def _counting_draws():
+        from unittest import mock
+
+        from repro.rng import ReproRandom
+
+        draws = {"n": 0}
+        original = ReproRandom.chance
+
+        def counting(self, p):
+            draws["n"] += 1
+            return original(self, p)
+
+        return draws, mock.patch.object(ReproRandom, "chance", counting)
+
+    def test_sweep_digest_and_draw_count_match_pre_telemetry_tree(self):
+        import hashlib
+
+        from repro.obs import telemetry as obs_telemetry
+
+        assert obs_telemetry.get() is None, "telemetry leaked in from another test"
+        draws, patcher = self._counting_draws()
+        with patcher:
+            session = AttackSession(seed=5, fio_runtime_s=0.3)
+            result = session.frequency_sweep(TestSweepCacheCorrectness.FREQS)
+        rows = [
+            "%.1f,%.9f,%.9f" % (p.frequency_hz, p.write_mbps, p.read_mbps)
+            for p in result.points
+        ]
+        rows.append(
+            "baseline,%.9f,%.9f"
+            % (result.baseline_write_mbps, result.baseline_read_mbps)
+        )
+        digest = hashlib.sha256("\n".join(rows).encode()).hexdigest()
+        assert digest == self.SWEEP_DIGEST
+        assert draws["n"] == self.SWEEP_DRAWS
+
+    def test_range_digest_and_draw_count_match_pre_telemetry_tree(self):
+        import hashlib
+
+        draws, patcher = self._counting_draws()
+        with patcher:
+            session = AttackSession(seed=5, fio_runtime_s=0.3)
+            result = session.range_test([0.10, 0.12, 0.15])
+        rows = []
+        for p in [result.baseline] + result.points:
+            rows.append(
+                "%.3f,%d,%d,%d,%.9f,%.9f"
+                % (
+                    p.distance_m,
+                    p.read.completed_ops,
+                    p.read.error_ops,
+                    p.read.timeout_ops,
+                    p.read.throughput_mbps,
+                    p.write.throughput_mbps,
+                )
+            )
+        digest = hashlib.sha256("\n".join(rows).encode()).hexdigest()
+        assert digest == self.RANGE_DIGEST
+        assert draws["n"] == self.RANGE_DRAWS
+
+    def test_traced_sweep_matches_the_disabled_digest(self):
+        """Tracing observes the virtual clock; it must never perturb it."""
+        import hashlib
+
+        from repro import obs
+
+        def digest_of(result):
+            rows = [
+                "%.1f,%.9f,%.9f" % (p.frequency_hz, p.write_mbps, p.read_mbps)
+                for p in result.points
+            ]
+            rows.append(
+                "baseline,%.9f,%.9f"
+                % (result.baseline_write_mbps, result.baseline_read_mbps)
+            )
+            return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+
+        with obs.session(obs.Telemetry(tracer=obs.Tracer(detail="attempts"))):
+            traced = AttackSession(seed=5, fio_runtime_s=0.3).frequency_sweep(
+                TestSweepCacheCorrectness.FREQS
+            )
+        assert digest_of(traced) == self.SWEEP_DIGEST
+
+
 class TestSectorStore:
     def test_roundtrip_within_one_page(self):
         store = SectorStore()

@@ -175,6 +175,67 @@ class TestProgressReporter:
         reporter.advance()
         assert reporter.completed == 1
 
+    def test_summary_separates_fresh_from_cached(self):
+        reporter = ProgressReporter(total=4, stream=None, time_fn=lambda: 1.0)
+        reporter.start()
+        for cached in (False, True, True, True):
+            reporter.advance(cached=cached)
+        assert reporter.fresh == 1
+        assert reporter.cache_hit_rate == pytest.approx(0.75)
+        line = reporter.summary()
+        assert "1 fresh" in line
+        assert "3 from cache" in line
+        assert "75% hit" in line
+
+    def test_eta_zero_for_empty_campaign(self):
+        reporter = ProgressReporter(total=0, stream=None)
+        reporter.start()
+        assert reporter.eta_s == 0.0
+
+    def test_eta_zero_once_complete(self):
+        times = itertools.chain([0.0], itertools.repeat(5.0))
+        reporter = ProgressReporter(total=1, stream=None, time_fn=lambda: next(times))
+        reporter.start()
+        reporter.advance()
+        assert reporter.eta_s == 0.0
+
+    def test_eta_nan_before_any_rate(self):
+        reporter = ProgressReporter(total=3, stream=None, time_fn=lambda: 2.0)
+        reporter.start()
+        assert reporter.eta_s != reporter.eta_s  # NaN: no points yet
+
+    def test_eta_formatting_over_an_hour(self):
+        from repro.runtime.progress import _format_eta
+
+        assert _format_eta(5.4) == "5.4s"
+        assert _format_eta(59.94) == "59.9s"
+        assert _format_eta(59.96) == "1m00s"  # no "60.0s" artifact
+        assert _format_eta(61.0) == "1m01s"
+        assert _format_eta(3599.4) == "59m59s"
+        assert _format_eta(3600.0) == "1h00m"
+        assert _format_eta(5400.0) == "1h30m"
+        assert _format_eta(86400.0) == "24h00m"
+        assert _format_eta(-1.0) == "--"
+        assert _format_eta(float("nan")) == "--"
+
+    def test_telemetry_hook_counts_points_by_source(self):
+        from repro.obs.telemetry import Telemetry
+
+        bundle = Telemetry()
+        reporter = ProgressReporter(
+            total=3, label="wired", stream=None, telemetry=bundle
+        )
+        reporter.advance()
+        reporter.advance(cached=True)
+        reporter.advance()
+        metrics = bundle.metrics
+        assert metrics.counter_value(
+            "campaign_points_total", label="wired", source="fresh"
+        ) == 2
+        assert metrics.counter_value(
+            "campaign_points_total", label="wired", source="cached"
+        ) == 1
+
 
 @pytest.mark.slow
 class TestCampaignDeterminism:

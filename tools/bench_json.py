@@ -1,4 +1,4 @@
-"""Machine-readable performance trajectory: writes BENCH_PR2.json.
+"""Machine-readable performance trajectory: writes BENCH_PR3.json.
 
 Times the hot-path I/O engine against two baselines:
 
@@ -13,17 +13,23 @@ Times the hot-path I/O engine against two baselines:
 The cold Figure 2 sweep is the headline number; the sweep CSVs are
 hashed so every run re-proves bit-identity against both baselines.
 
+The ``telemetry`` section is this PR's gate: with no telemetry bundle
+installed the sweep must stay bit-identical to the BENCH_PR2 recording
+and within its wall-time envelope, and a fully traced sweep must still
+produce the identical CSV (tracing observes, never perturbs).
+
 Usage:
-    python tools/bench_json.py [--quick] [--out BENCH_PR2.json]
+    python tools/bench_json.py [--quick] [--out BENCH_PR3.json]
 
 ``--quick`` shrinks the sweep and repeat counts for CI smoke runs; the
-seed-reference comparison only applies to the full protocol, so quick
-output omits the recorded-reference speedup.
+recorded-reference comparisons (seed and PR2) only apply to the full
+protocol, so quick output omits them.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
 import json
 import pathlib
@@ -53,6 +59,34 @@ SEED_REFERENCE = {
     "wall_s": 0.206,
     "csv_sha256": "f3c748ef335267d39601ba1114796e7ca581ab446dd71c04878f26ca1f418913",
 }
+
+#: The PR2 recording this PR's telemetry layer must not regress: same
+#: host, same full-mode protocol, telemetry did not exist yet.  Used as
+#: the fallback when BENCH_PR2.json is not sitting next to the repo
+#: root (the checked-in copy normally is, and takes precedence).
+PR2_REFERENCE = {
+    "commit": "80ec17f",
+    "wall_s": 0.0657,
+    "csv_sha256": "f3c748ef335267d39601ba1114796e7ca581ab446dd71c04878f26ca1f418913",
+}
+
+#: Telemetry-off wall-time envelope vs the PR2 recording (acceptance
+#: gate: <= 2% overhead with the observability layer compiled in but
+#: disabled).
+PR2_OVERHEAD_BUDGET = 0.02
+
+
+def _load_pr2_reference() -> dict:
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+    try:
+        sweep = json.loads(path.read_text())["sweep"]
+        return {
+            "commit": PR2_REFERENCE["commit"],
+            "wall_s": sweep["optimized_wall_s"],
+            "csv_sha256": sweep["optimized_csv_sha256"],
+        }
+    except (OSError, ValueError, KeyError):
+        return dict(PR2_REFERENCE)
 
 FULL_GRID = [float(f) for f in range(100, 2100, 100)]
 FULL_RUNTIME_S = 0.4
@@ -118,6 +152,68 @@ def bench_sweep(quick: bool) -> dict:
     return section
 
 
+def bench_telemetry(quick: bool, sweep_section: dict) -> dict:
+    """Telemetry-off and fully-traced sweeps against the PR2 recording.
+
+    The telemetry-off wall is the ``sweep`` section's measurement (no
+    bundle was installed there, so the instrumentation guards all took
+    their ``None`` branch).  The traced run installs a real tracer +
+    metrics registry for the identical protocol; its CSV must match
+    bit-for-bit because telemetry only observes the virtual clock.
+    """
+    from repro import obs
+
+    grid = QUICK_GRID if quick else FULL_GRID
+    runtime_s = QUICK_RUNTIME_S if quick else FULL_RUNTIME_S
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+
+    traced_wall = None
+    traced_sha = ""
+    spans = events = series = 0
+    for _ in range(repeats):
+        # One fresh bundle per repeat so each timed run pays the same
+        # (empty-buffer) recording cost.
+        with obs.session(obs.Telemetry(tracer=obs.Tracer())) as tel:
+            t0 = time.perf_counter()
+            csv = _sweep_once(grid, runtime_s)
+            wall = time.perf_counter() - t0
+        traced_sha = hashlib.sha256(csv.encode()).hexdigest()
+        traced_wall = wall if traced_wall is None or wall < traced_wall else traced_wall
+        spans, events = len(tel.tracer.spans), len(tel.tracer.events)
+        series = len(tel.metrics)
+
+    off_wall = sweep_section["optimized_wall_s"]
+    off_sha = sweep_section["optimized_csv_sha256"]
+    section = {
+        "telemetry_off_wall_s": off_wall,
+        "traced_wall_s": round(traced_wall, 4),
+        "traced_overhead": round(traced_wall / off_wall - 1.0, 3),
+        "traced_csv_sha256": traced_sha,
+        "traced_bit_identical": traced_sha == off_sha,
+        "traced_spans": spans,
+        "traced_instants": events,
+        "traced_metric_series": series,
+    }
+    if not quick:
+        reference = _load_pr2_reference()
+        section["pr2_reference"] = dict(
+            reference,
+            bit_identical_to_pr2=off_sha == reference["csv_sha256"],
+            telemetry_off_overhead_vs_pr2=round(
+                off_wall / reference["wall_s"] - 1.0, 4
+            ),
+            within_overhead_budget=off_wall
+            <= reference["wall_s"] * (1.0 + PR2_OVERHEAD_BUDGET),
+            overhead_budget=PR2_OVERHEAD_BUDGET,
+        )
+    # Drop the retained trace buffers before the micro section: tens of
+    # thousands of surviving span records otherwise leave the collector
+    # running full generations inside the timed loops.
+    del tel, csv
+    gc.collect()
+    return section
+
+
 def _drive_write_rate(ops: int) -> float:
     drive = HardDiskDrive(clock=VirtualClock(), rng=make_rng(1), store_data=False)
     t0 = time.perf_counter()
@@ -164,6 +260,12 @@ def bench_micro(quick: bool) -> dict:
     evals = 20_000 if quick else 200_000
     store_bytes = (4 if quick else 32) * 1024 * 1024
 
+    # Warm pass: the first drive/servo construction pays one-time
+    # geometry and import costs that would otherwise be billed to the
+    # optimized row (it is measured first).
+    _drive_write_rate(min(ops, 1_000))
+    _servo_eval_rate(min(evals, 5_000))
+
     drive_fast = _drive_write_rate(ops)
     servo_fast = _servo_eval_rate(evals)
     with perf.perf_baseline():
@@ -188,16 +290,18 @@ def bench_micro(quick: bool) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
-    parser.add_argument("--out", default="BENCH_PR2.json", help="output path")
+    parser.add_argument("--out", default="BENCH_PR3.json", help="output path")
     args = parser.parse_args(argv)
 
+    sweep = bench_sweep(args.quick)
     report = {
-        "schema": "repro-bench/2",
+        "schema": "repro-bench/3",
         "generated_by": "tools/bench_json.py" + (" --quick" if args.quick else ""),
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "sweep": bench_sweep(args.quick),
+        "sweep": sweep,
+        "telemetry": bench_telemetry(args.quick, sweep),
         "micro": bench_micro(args.quick),
     }
 
@@ -208,6 +312,13 @@ def main(argv=None) -> int:
 
     if not report["sweep"]["bit_identical_to_gated_baseline"]:
         print("FAIL: optimized sweep diverged from the gated baseline", file=sys.stderr)
+        return 1
+    if not report["telemetry"]["traced_bit_identical"]:
+        print("FAIL: traced sweep diverged from the telemetry-off sweep", file=sys.stderr)
+        return 1
+    pr2 = report["telemetry"].get("pr2_reference")
+    if pr2 is not None and not pr2["bit_identical_to_pr2"]:
+        print("FAIL: telemetry-off sweep diverged from the PR2 recording", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,139 @@
+"""Validate a Chrome ``trace_event`` JSON file produced by ``--trace``.
+
+Checks the structural contract that Perfetto / ``chrome://tracing``
+relies on, so CI can gate the exporter without loading a UI:
+
+* top level is an object with a ``traceEvents`` list;
+* every event carries ``ph``/``pid``/``tid``/``name`` with the right
+  types, and ``ph`` is one of the phases the exporter emits
+  (``M`` metadata, ``X`` complete, ``i`` instant);
+* complete events have numeric non-negative ``ts``/``dur`` and a
+  ``cat``; instants have numeric ``ts`` and a valid scope ``s``;
+* every ``tid`` referenced by a span or instant has a matching
+  ``thread_name`` metadata event (the track registry).
+
+Usage:
+    python tools/validate_trace.py TRACE.json [TRACE2.json ...]
+
+Exits non-zero on the first malformed file, printing every violation
+found in it (capped at 20 lines).
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import pathlib
+import sys
+
+_PHASES = {"M", "X", "i"}
+_INSTANT_SCOPES = {"t", "p", "g"}
+_MAX_ERRORS = 20
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def validate_trace(data) -> list:
+    """All structural violations in one parsed trace document."""
+    errors = []
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+
+    named_tids = set()
+    used_tids = set()
+    counts = {"M": 0, "X": 0, "i": 0}
+    for n, event in enumerate(events):
+        where = f"traceEvents[{n}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: ph {ph!r} not in {sorted(_PHASES)}")
+            continue
+        counts[ph] += 1
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: pid must be an integer")
+        tid = event.get("tid")
+        if not isinstance(tid, int):
+            errors.append(f"{where}: tid must be an integer")
+            tid = None
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: name must be a non-empty string")
+
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                errors.append(f"{where}: metadata event must be 'thread_name'")
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                errors.append(f"{where}: thread_name needs args.name (string)")
+            elif tid is not None:
+                named_tids.add(tid)
+            continue
+
+        if tid is not None:
+            used_tids.add(tid)
+        if not _is_number(event.get("ts")) or event["ts"] < 0:
+            errors.append(f"{where}: ts must be a non-negative number (microseconds)")
+        if ph == "X":
+            if not _is_number(event.get("dur")) or event["dur"] < 0:
+                errors.append(f"{where}: dur must be a non-negative number")
+            if not isinstance(event.get("cat"), str):
+                errors.append(f"{where}: complete event needs a 'cat' string")
+        elif ph == "i":
+            if event.get("s") not in _INSTANT_SCOPES:
+                errors.append(
+                    f"{where}: instant scope {event.get('s')!r} not in"
+                    f" {sorted(_INSTANT_SCOPES)}"
+                )
+
+    for tid in sorted(used_tids - named_tids):
+        errors.append(f"tid {tid} has spans/instants but no thread_name metadata")
+    if counts["M"] == 0 and (counts["X"] or counts["i"]):
+        errors.append("no thread_name metadata events at all")
+    return errors
+
+
+def _validate_file(path: pathlib.Path) -> int:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable or invalid JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_trace(data)
+    if errors:
+        for line in errors[:_MAX_ERRORS]:
+            print(f"{path}: {line}", file=sys.stderr)
+        if len(errors) > _MAX_ERRORS:
+            print(
+                f"{path}: ... and {len(errors) - _MAX_ERRORS} more", file=sys.stderr
+            )
+        return 1
+    events = data["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    instants = sum(1 for e in events if e.get("ph") == "i")
+    tracks = sum(1 for e in events if e.get("ph") == "M")
+    print(f"{path}: OK ({tracks} tracks, {spans} spans, {instants} instants)")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: python tools/validate_trace.py TRACE.json ...", file=sys.stderr)
+        return 2
+    for name in argv:
+        status = _validate_file(pathlib.Path(name))
+        if status:
+            return status
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
