@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help test smoke lint bench bench-json trace-smoke
+.PHONY: help test smoke lint bench bench-json trace-smoke doctest docs docs-check
 
 help:       ## list targets with their one-line descriptions
 	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -14,6 +14,15 @@ smoke:      ## quick CI gate: everything but the full campaign runs
 
 lint:       ## ruff if installed, else pyflakes, else a syntax check
 	$(PYTHON) tools/lint.py
+
+doctest:    ## run the docstring examples (units, SPL algebra)
+	$(PYTHON) -m pytest -q --doctest-modules src/repro/units.py src/repro/acoustics/spl.py
+
+docs:       ## regenerate docs/CLI.md from the argparse tree
+	$(PYTHON) tools/gen_cli_docs.py
+
+docs-check: ## CI gate: fail if docs/CLI.md is stale
+	$(PYTHON) tools/gen_cli_docs.py --check
 
 bench:      ## paper-scale benchmarks (writes results/*.txt)
 	$(PYTHON) -m pytest -q benchmarks

@@ -34,7 +34,13 @@ AIR_WATER_REFERENCE_SHIFT_DB = 20.0 * math.log10(P_REF_AIR / P_REF_WATER)
 
 
 def pressure_to_spl(pressure_pa: float, reference_pa: float = P_REF_WATER) -> float:
-    """Convert an RMS pressure in Pa to SPL in dB re ``reference_pa``."""
+    """Convert an RMS pressure in Pa to SPL in dB re ``reference_pa``.
+
+    >>> pressure_to_spl(1e-6)  # the underwater reference itself
+    0.0
+    >>> round(pressure_to_spl(1.0), 1)  # 1 Pa RMS underwater
+    120.0
+    """
     if pressure_pa <= 0.0:
         raise UnitError(f"pressure must be positive: {pressure_pa}")
     if reference_pa <= 0.0:
@@ -43,7 +49,13 @@ def pressure_to_spl(pressure_pa: float, reference_pa: float = P_REF_WATER) -> fl
 
 
 def spl_to_pressure(spl_db: float, reference_pa: float = P_REF_WATER) -> float:
-    """Convert SPL in dB re ``reference_pa`` to RMS pressure in Pa."""
+    """Convert SPL in dB re ``reference_pa`` to RMS pressure in Pa.
+
+    >>> round(spl_to_pressure(120.0), 9)  # 120 dB re 1 uPa is 1 Pa
+    1.0
+    >>> round(spl_to_pressure(140.0), 6)  # the paper's attack level
+    10.0
+    """
     if reference_pa <= 0.0:
         raise UnitError(f"reference pressure must be positive: {reference_pa}")
     return reference_pa * 10.0 ** (spl_db / 20.0)
@@ -54,12 +66,19 @@ def spl_air_to_water(spl_air_db: float) -> float:
 
     The physical pressure is unchanged; only the reference moves, adding
     approximately 26 dB (the paper's Section 2.2 conversion).
+
+    >>> round(spl_air_to_water(114.0))  # ~the Blue Note in-air level
+    140
     """
     return spl_air_db + AIR_WATER_REFERENCE_SHIFT_DB
 
 
 def spl_water_to_air(spl_water_db: float) -> float:
-    """Re-reference an underwater SPL (re 1 uPa) to in-air SPL (re 20 uPa)."""
+    """Re-reference an underwater SPL (re 1 uPa) to in-air SPL (re 20 uPa).
+
+    >>> round(spl_water_to_air(140.0))
+    114
+    """
     return spl_water_db - AIR_WATER_REFERENCE_SHIFT_DB
 
 
@@ -68,6 +87,11 @@ def spl_sum(levels_db: Iterable[float]) -> float:
 
     Two equal sources sum to +3 dB; an empty iterable is rejected because
     "no sound" has no finite level.
+
+    >>> round(spl_sum([100.0, 100.0]), 2)
+    103.01
+    >>> spl_sum([140.0])
+    140.0
     """
     total_power = 0.0
     count = 0

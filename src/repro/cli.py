@@ -5,7 +5,7 @@ ablations::
 
     deepnote figure2   [--runtime S] [--seed N] [--workers N] [--cache-dir D] [--csv OP]
     deepnote table1    [--runtime S] [--seed N] [--workers N] [--cache-dir D]
-    deepnote table2    [--duration S] [--seed N]
+    deepnote table2    [--duration S] [--seed N] [--workers N] [--cache-dir D]
     deepnote table3    [--deadline S]
     deepnote ablations [--which material|source|water|defense|drives|all]
                        [--workers N] [--cache-dir D]
@@ -20,6 +20,16 @@ ablations::
 bit-identical to ``--workers 1``); ``--cache-dir`` memoizes measured
 points on disk so re-runs skip them; ``--progress`` reports points/s
 and ETA on stderr.
+
+Resilience (campaign commands): ``--journal PATH`` checkpoints every
+finished point to an fsync'd journal (defaults to
+``<cache-dir>/journal.jsonl`` when a resilience flag is given with
+``--cache-dir``); ``--resume`` reloads it and skips completed points —
+a killed campaign resumes to byte-identical output; ``--point-timeout``
+bounds each measurement; ``--max-retries`` retries failing points with
+deterministic backoff before recording a typed failure row;
+``--inject-faults SPEC`` scripts worker faults (``ORDINAL[xN]=ACTION
+[@S]``, actions fail/hang/slow/kill) to rehearse all of the above.
 
 Telemetry: ``--trace PATH`` records a virtual-clock span trace and
 writes Chrome ``trace_event`` JSON (open it in https://ui.perfetto.dev),
@@ -66,6 +76,40 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="report points/s and ETA on stderr",
         )
+        resil = command.add_argument_group("resilience")
+        resil.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help=(
+                "checkpoint finished points to this fsync'd journal "
+                "(default: <cache-dir>/journal.jsonl when any resilience "
+                "flag is combined with --cache-dir)"
+            ),
+        )
+        resil.add_argument(
+            "--resume", action="store_true",
+            help="skip points already completed in the journal",
+        )
+        resil.add_argument(
+            "--point-timeout", type=float, default=None, metavar="S",
+            help="abort any single point measurement after S seconds",
+        )
+        resil.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help=(
+                "retry a failed/timed-out point N times (deterministic "
+                "backoff), then record it as a failure row (default 2 "
+                "once any resilience flag is given)"
+            ),
+        )
+        resil.add_argument(
+            "--inject-faults", default=None, metavar="SPEC",
+            help=(
+                "deterministic fault plan for drills, e.g. "
+                "'3=fail,5x2=slow@0.1,7=kill' "
+                "(ORDINAL[xCOUNT]=ACTION[@SECONDS]; "
+                "actions: fail, hang, slow, kill)"
+            ),
+        )
         add_telemetry_flags(command)
 
     def add_telemetry_flags(command: argparse.ArgumentParser) -> None:
@@ -99,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     t2 = sub.add_parser("table2", help="RocksDB readwhilewriting vs distance")
     t2.add_argument("--duration", type=float, default=1.0, help="bench seconds per distance")
     t2.add_argument("--seed", type=int, default=None)
-    add_telemetry_flags(t2)
+    add_runner_flags(t2)
 
     t3 = sub.add_parser("table3", help="time-to-crash for Ext4 / Ubuntu / RocksDB")
     t3.add_argument("--deadline", type=float, default=300.0, help="give up after this long")
@@ -144,15 +188,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _campaign_runner(
+    args: argparse.Namespace, campaign_kind: str, *campaign_parts
+):
+    """Build the (possibly checkpointing/retrying) runner a command asked for.
+
+    The campaign fingerprint covers only what changes the physics —
+    never ``--workers``/``--cache-dir``/``--progress`` — so a campaign
+    journaled at one worker count resumes at any other.
+    """
+    import os
+
+    from repro.runtime import FaultPlan, fingerprint, make_runner
+
+    journal_path = args.journal
+    wants_resilience = (
+        args.resume
+        or args.point_timeout is not None
+        or args.max_retries is not None
+        or args.inject_faults is not None
+    )
+    if journal_path is None and wants_resilience and args.cache_dir is not None:
+        journal_path = os.path.join(args.cache_dir, "journal.jsonl")
+    if args.resume and journal_path is None:
+        raise SystemExit(
+            "deepnote: --resume needs a journal; pass --journal PATH "
+            "(or --cache-dir DIR, whose journal.jsonl is used)"
+        )
+    campaign = (
+        fingerprint(campaign_kind, list(campaign_parts))
+        if journal_path is not None
+        else None
+    )
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults)
+        if args.inject_faults is not None
+        else None
+    )
+    return make_runner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=args.progress,
+        journal_path=journal_path,
+        resume=args.resume,
+        campaign=campaign,
+        point_timeout_s=args.point_timeout,
+        max_retries=args.max_retries,
+        fault_plan=fault_plan,
+        retry_seed=getattr(args, "seed", None) or 0,
+    )
+
+
 def _cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.figure2 import run_figure2
 
     result = run_figure2(
         fio_runtime_s=args.runtime,
         seed=args.seed,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        progress=args.progress,
+        runner=_campaign_runner(args, "figure2/v1", args.runtime, args.seed),
     )
     if args.csv is not None:
         print(result.to_csv(op=args.csv), end="")
@@ -168,9 +261,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         run_table1(
             fio_runtime_s=args.runtime,
             seed=args.seed,
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            progress=args.progress,
+            runner=_campaign_runner(args, "table1/v1", args.runtime, args.seed),
         ).render()
     )
     return 0
@@ -179,7 +270,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import run_table2
 
-    print(run_table2(duration_s=args.duration, seed=args.seed).render())
+    print(
+        run_table2(
+            duration_s=args.duration,
+            seed=args.seed,
+            runner=_campaign_runner(args, "table2/v1", args.duration, args.seed),
+        ).render()
+    )
     return 0
 
 
@@ -209,11 +306,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         run_water_conditions_ablation,
     )
 
-    from repro.runtime import make_runner
-
-    runner = make_runner(
-        workers=args.workers, cache_dir=args.cache_dir, progress=args.progress
-    )
+    runner = _campaign_runner(args, "ablations/v1", args.which)
     runs = {
         "material": lambda: run_material_ablation(runner=runner),
         "source": lambda: run_source_level_ablation(runner=runner),
@@ -316,19 +409,42 @@ def _cmd_all(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import run_table1
     from repro.experiments.table2 import run_table2
     from repro.experiments.table3 import run_table3
-    from repro.runtime import make_runner
 
-    runner = make_runner(
-        workers=args.workers, cache_dir=args.cache_dir, progress=args.progress
-    )
+    runner = _campaign_runner(args, "all/v1")
     print(run_figure2(runner=runner).render())
     print()
     print(run_table1(runner=runner).render())
     print()
-    print(run_table2().render())
+    print(run_table2(runner=runner).render())
     print()
     print(run_table3().render())
     return 0
+
+
+def _run_with_abort_hint(handler):
+    """Wrap a handler so campaign aborts exit cleanly with a resume hint."""
+
+    def wrapped(args: argparse.Namespace) -> int:
+        from repro.errors import CampaignAborted, ResumeMismatch
+
+        try:
+            return handler(args)
+        except ResumeMismatch as exc:
+            print(f"deepnote: {exc}", file=sys.stderr)
+            return 2
+        except CampaignAborted as exc:
+            print(f"deepnote: campaign aborted: {exc}", file=sys.stderr)
+            if getattr(args, "journal", None) is not None or (
+                getattr(args, "cache_dir", None) is not None
+            ):
+                print(
+                    "deepnote: completed points are journaled; relaunch the "
+                    "same command with --resume to continue where it stopped",
+                    file=sys.stderr,
+                )
+            return 1
+
+    return wrapped
 
 
 _COMMANDS = {
@@ -356,7 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    handler = _COMMANDS[args.command]
+    handler = _run_with_abort_hint(_COMMANDS[args.command])
 
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)

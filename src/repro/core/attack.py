@@ -26,12 +26,13 @@ from array import array
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import CampaignAborted, ConfigurationError
 from repro.hdd.drive import HardDiskDrive
 from repro.hdd.profiles import make_barracuda_profile
 from repro.obs import telemetry as obs
 from repro.obs.trace import NULL_TRACER
 from repro.rng import ReproRandom, make_rng
+from repro.runtime.retry import PointFailure
 from repro.sim.clock import VirtualClock
 from repro.workloads.fio import FioJob, FioResult, FioTester, IOMode
 
@@ -66,12 +67,18 @@ class SweepPoint:
 
 @dataclass
 class FrequencySweepResult:
-    """Outcome of a Section 4.1-style frequency sweep for one scenario."""
+    """Outcome of a Section 4.1-style frequency sweep for one scenario.
+
+    ``failures`` holds the points that exhausted their retry budget
+    under a resilient runner: the sweep completed without them, and
+    renderers surface them as degraded rows instead of aborting.
+    """
 
     scenario_name: str
     baseline_write_mbps: float
     baseline_read_mbps: float
     points: List[SweepPoint] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
 
     def vulnerable_band(self, loss_fraction: float = 0.5, op: str = "write") -> "tuple[float, float] | None":
         """(low, high) frequency of the contiguous most-affected band.
@@ -125,12 +132,17 @@ class RangePoint:
 
 @dataclass
 class RangeTestResult:
-    """Outcome of a Section 4.2-style range test."""
+    """Outcome of a Section 4.2-style range test.
+
+    ``failures`` mirrors :attr:`FrequencySweepResult.failures`: rows
+    that degraded to recorded failures under a resilient runner.
+    """
 
     scenario_name: str
     frequency_hz: float
     baseline: RangePoint
     points: List[RangePoint] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
 
     def max_effective_distance_m(self, loss_fraction: float = 0.1) -> float:
         """Largest distance with a measurable throughput loss.
@@ -153,6 +165,13 @@ class RangeTestResult:
 
 def _safe_ratio(value: float, baseline: float) -> float:
     return value / baseline if baseline > 0.0 else 1.0
+
+
+def _split_failures(mapped: "List[object]") -> "tuple[List, List[PointFailure]]":
+    """Separate measured points from degraded :class:`PointFailure` rows."""
+    points = [p for p in mapped if not isinstance(p, PointFailure)]
+    failures = [p for p in mapped if isinstance(p, PointFailure)]
+    return points, failures
 
 
 # --------------------------------------------------------------------------
@@ -440,15 +459,17 @@ class AttackSession:
         frequencies = list(frequencies_hz)
         if runner is None:
             base = self.baseline()
-            points = [self._sweep_point(base_config, f) for f in frequencies]
+            points, failures = [self._sweep_point(base_config, f) for f in frequencies], []
         else:
-            base, points = self._run_sweep(runner, base_config, frequencies)
+            base, mapped = self._run_sweep(runner, base_config, frequencies)
+            points, failures = _split_failures(mapped)
         result = FrequencySweepResult(
             scenario_name=self.coupling.scenario.name,
             baseline_write_mbps=base.write_mbps,
             baseline_read_mbps=base.read_mbps,
         )
         result.points.extend(points)
+        result.failures.extend(failures)
         return result
 
     def _run_sweep(
@@ -474,6 +495,13 @@ class AttackSession:
             decode=decode_sweep_point,
             label=f"{self.coupling.scenario.name}: baseline",
         )[0]
+        if isinstance(baseline, PointFailure):
+            # Every sweep number is a ratio against this one measurement;
+            # without it the campaign has nothing to normalize by.
+            raise CampaignAborted(
+                f"baseline measurement failed, cannot normalize the sweep: "
+                f"{baseline.describe()}"
+            )
         specs = [
             _SweepPointSpec(
                 coupling=self.coupling,
@@ -511,6 +539,7 @@ class AttackSession:
         """
         base_config = config if config is not None else AttackConfig.paper_best()
         distances = list(distances_m)
+        failures: List[PointFailure] = []
         if runner is None:
             baseline = self._range_point(base_config, None)
             points = [self._range_point(base_config, d) for d in distances]
@@ -540,13 +569,20 @@ class AttackSession:
                 decode=decode_range_point,
                 label=f"{self.coupling.scenario.name}: range test",
             )
-            baseline, points = measured[0], measured[1:]
+            baseline = measured[0]
+            if isinstance(baseline, PointFailure):
+                raise CampaignAborted(
+                    f"baseline measurement failed, cannot normalize the range "
+                    f"test: {baseline.describe()}"
+                )
+            points, failures = _split_failures(measured[1:])
         result = RangeTestResult(
             scenario_name=self.coupling.scenario.name,
             frequency_hz=base_config.frequency_hz,
             baseline=baseline,
         )
         result.points.extend(points)
+        result.failures.extend(failures)
         return result
 
     def sustained_attack(

@@ -87,12 +87,50 @@ class BlockIOError(ReproError, OSError):
 # --------------------------------------------------------------------------
 
 
-class WorkerCrashed(ReproError):
+class CampaignAborted(ReproError):
+    """The whole campaign stopped before every point completed.
+
+    Unlike a per-point failure (retried, then degraded to a recorded
+    ``PointFailure`` row), an abort means the run itself ended early —
+    the campaign process was killed, a worker pool broke, or the
+    baseline measurement a campaign cannot proceed without failed.  The
+    checkpoint journal keeps every point completed before the abort, so
+    relaunching with ``--resume`` continues where the run stopped.
+    """
+
+
+class WorkerCrashed(CampaignAborted):
     """A parallel campaign worker died without returning a result.
 
     Raised by :class:`repro.runtime.SweepRunner` when the process pool
     breaks (a worker was killed or segfaulted) so callers see a clean
     error instead of a hung executor.
+    """
+
+
+class PointTimeout(ReproError):
+    """A campaign point did not finish within ``--point-timeout``.
+
+    Counted as one failed attempt: the point is retried under the
+    runner's :class:`~repro.runtime.retry.RetryPolicy` and degrades to
+    a ``PointFailure`` row once its retry budget is exhausted.
+    """
+
+
+class FaultInjected(ReproError):
+    """An error scripted by the fault-injection harness.
+
+    Only :mod:`repro.runtime.faultinject` raises this, so tests can
+    tell injected failures apart from real ones.
+    """
+
+
+class ResumeMismatch(ConfigurationError):
+    """``--resume`` pointed at a journal from a different campaign.
+
+    The checkpoint journal's header records a campaign fingerprint;
+    resuming with different physics inputs (command, runtime, seed)
+    would silently mix measurements, so it is refused instead.
     """
 
 

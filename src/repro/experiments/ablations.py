@@ -34,7 +34,7 @@ from repro.core.environment import UnderwaterEnvironment
 from repro.core.scenario import Scenario
 from repro.hdd.profiles import BARRACUDA_500GB, DriveProfile
 from repro.hdd.servo import OpKind
-from repro.runtime import SweepRunner, fingerprint, make_runner
+from repro.runtime import PointFailure, SweepRunner, fingerprint, make_runner
 from repro.vibration.enclosure import Enclosure
 from repro.vibration.materials import ACRYLIC, ALUMINUM, HARD_PLASTIC, STEEL, TITANIUM, Material
 from repro.vibration.mount import StorageTower
@@ -154,16 +154,31 @@ def _map_rows(
     workers: int,
     cache_dir: Optional[str],
     runner: "Optional[SweepRunner]",
+    columns: int = 0,
 ) -> "List[List[str]]":
-    """Run ablation row jobs through a runner (or inline when absent)."""
+    """Run ablation row jobs through a runner (or inline when absent).
+
+    Under a resilient runner a row that exhausted its retries comes back
+    as a :class:`~repro.runtime.PointFailure`; it is rendered as a
+    degraded table row (padded to ``columns`` cells) so the remaining
+    ablation rows still print.
+    """
     if runner is None:
         runner = make_runner(workers=workers, cache_dir=cache_dir)
     if runner is None:
         return [fn(spec) for spec in specs]
     keys = [fingerprint(kind, spec) for spec in specs]
-    return runner.map(
+    rows = runner.map(
         fn, specs, keys=keys, encode=_encode_row, decode=_decode_row, label=label
     )
+    resolved = []
+    for row in rows:
+        if isinstance(row, PointFailure):
+            cells = [f"FAILED ({row.kind} x{row.attempts})"]
+            resolved.append(cells + ["-"] * (max(columns, 1) - 1))
+        else:
+            resolved.append(row)
+    return resolved
 
 
 def run_material_ablation(
@@ -193,7 +208,7 @@ def run_material_ablation(
     ]
     rows = _map_rows(
         _material_row_job, specs, "material-row/v1", "ablation: materials",
-        workers, cache_dir, runner,
+        workers, cache_dir, runner, columns=1 + len(frequencies_hz),
     )
     for row in rows:
         table.add_row(*row)
@@ -220,7 +235,7 @@ def run_source_level_ablation(
     specs = [_SourceLevelSpec(level_db=level) for level in levels_db]
     rows = _map_rows(
         _source_level_job, specs, "source-level-row/v1", "ablation: source level",
-        workers, cache_dir, runner,
+        workers, cache_dir, runner, columns=2,
     )
     for row in rows:
         table.add_row(*row)
@@ -287,7 +302,7 @@ def run_drive_type_ablation(
     ]
     rows = _map_rows(
         _drive_row_job, specs, "drive-row/v1", "ablation: drive types",
-        workers, cache_dir, runner,
+        workers, cache_dir, runner, columns=1 + len(frequencies_hz),
     )
     for row in rows:
         table.add_row(*row)

@@ -99,6 +99,14 @@ class Figure2Result:
             lines.append(",".join(cells))
         return "\n".join(lines) + "\n"
 
+    def failures(self) -> "List[tuple[str, object]]":
+        """(scenario, PointFailure) pairs across every sweep."""
+        out = []
+        for name, sweep in self.sweeps.items():
+            for failure in getattr(sweep, "failures", []):
+                out.append((name, failure))
+        return out
+
     def render(self) -> str:
         """Charts + table, in the style of Figure 2a/2b."""
         blocks = []
@@ -126,6 +134,16 @@ class Figure2Result:
                         row.append(format_mbps(point.write_mbps if op == "write" else point.read_mbps))
                 table.add_row(*row)
             blocks.append(table.render())
+            blocks.append("")
+        failures = self.failures()
+        if failures:
+            blocks.append(
+                f"DEGRADED: {len(failures)} point"
+                f"{'s' if len(failures) != 1 else ''} exhausted retries "
+                "and were recorded as failures:"
+            )
+            for name, failure in failures:
+                blocks.append(f"  - [{name}] {failure.describe()}")
             blocks.append("")
         return "\n".join(blocks)
 

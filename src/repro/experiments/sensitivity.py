@@ -11,7 +11,7 @@ papers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import series_summary
 from repro.analysis.tables import Table
@@ -19,6 +19,7 @@ from repro.core.attack import AttackSession
 from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
 from repro.core.scenario import Scenario
+from repro.runtime import SweepRunner
 
 from .paper_data import ATTACK_LEVEL_DB, ATTACK_TONE_HZ
 
@@ -56,12 +57,14 @@ def run_seed_sensitivity(
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     distance_m: float = 0.10,
     fio_runtime_s: float = 1.0,
+    runner: "Optional[SweepRunner]" = None,
 ) -> SeedSweepResult:
     """Re-measure the partial-loss distance point across seeds.
 
     The 10 cm row is the most stochastic part of Table 1 (retry storms
     under a marginal attack); total-stall and recovered rows are
-    deterministic by construction.
+    deterministic by construction.  A ``runner`` adds memoization and
+    checkpoint/retry resilience to each per-seed measurement.
     """
     result = SeedSweepResult(seeds=list(seeds))
     for seed in seeds:
@@ -71,7 +74,7 @@ def run_seed_sensitivity(
             fio_runtime_s=fio_runtime_s,
         )
         config = AttackConfig(ATTACK_TONE_HZ, ATTACK_LEVEL_DB, distance_m)
-        range_result = session.range_test([distance_m], config=config)
+        range_result = session.range_test([distance_m], config=config, runner=runner)
         point = range_result.points[0]
         result.read_mbps.append(point.read.throughput_mbps)
         result.write_mbps.append(point.write.throughput_mbps)
@@ -81,6 +84,7 @@ def run_seed_sensitivity(
 def run_level_sensitivity(
     levels_db: Sequence[float] = (134.0, 137.0, 140.0),
     frequency_hz: float = ATTACK_TONE_HZ,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Table:
     """Throughput at 1 cm as the source level varies a few dB.
 
@@ -98,7 +102,7 @@ def run_level_sensitivity(
             fio_runtime_s=0.5,
         )
         sweep = session.frequency_sweep(
-            [frequency_hz], config=AttackConfig(frequency_hz, level, 0.01)
+            [frequency_hz], config=AttackConfig(frequency_hz, level, 0.01), runner=runner
         )
         point = sweep.points[0]
         table.add_row(f"{level:.0f}", f"{point.write_mbps:.2f}", f"{point.read_mbps:.2f}")

@@ -65,7 +65,17 @@ class Table1Result:
                 format_latency_ms(point.write.avg_latency_ms),
                 f"{paper[0]}/{paper[1]}" if paper else "-",
             )
-        return table.render()
+        rendered = table.render()
+        failures = self.range_test.failures
+        if failures:
+            lines = [
+                rendered,
+                f"DEGRADED: {len(failures)} distance"
+                f"{'s' if len(failures) != 1 else ''} exhausted retries:",
+            ]
+            lines.extend(f"  - {failure.describe()}" for failure in failures)
+            rendered = "\n".join(lines)
+        return rendered
 
 
 def run_table1(

@@ -7,6 +7,7 @@ under ``readwhilewriting`` while the 650 Hz tone plays.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -14,8 +15,10 @@ from repro.analysis.tables import Table, format_mbps
 from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
 from repro.core.scenario import Scenario
+from repro.errors import CampaignAborted
 from repro.hdd.drive import HardDiskDrive
 from repro.rng import make_rng
+from repro.runtime import PointFailure, SweepRunner, fingerprint, make_runner
 from repro.storage.block import BlockDevice
 from repro.storage.fs.filesystem import SimFS
 from repro.storage.kv.db import DB, Options
@@ -34,6 +37,7 @@ class Table2Result:
 
     baseline: DbBenchResult
     points: List[Tuple[float, DbBenchResult]] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
 
     def render(self) -> str:
         """The Table 2 layout with the paper's values alongside."""
@@ -58,7 +62,16 @@ class Table2Result:
                 f"{result.ops_per_second:,.0f}",
                 f"{paper[0]} / {paper[1]:,.0f}" if paper else "-",
             )
-        return table.render()
+        rendered = table.render()
+        if self.failures:
+            lines = [
+                rendered,
+                f"DEGRADED: {len(self.failures)} distance"
+                f"{'s' if len(self.failures) != 1 else ''} exhausted retries:",
+            ]
+            lines.extend(f"  - {failure.describe()}" for failure in self.failures)
+            rendered = "\n".join(lines)
+        return rendered
 
 
 def _fresh_bench(seed: Optional[int], label: str, duration_s: float) -> Tuple[HardDiskDrive, DbBench]:
@@ -77,22 +90,92 @@ def _fresh_bench(seed: Optional[int], label: str, duration_s: float) -> Tuple[Ha
     return drive, bench
 
 
+# --------------------------------------------------------------------------
+# Module-level point job (picklable, so the distances fan out over a
+# SweepRunner pool and journal/memoize like the FIO campaigns)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Table2PointSpec:
+    distance_m: Optional[float]  # None = the no-attack baseline
+    duration_s: float
+    seed: Optional[int]
+
+
+def _table2_point_job(spec: _Table2PointSpec) -> DbBenchResult:
+    label = (
+        "table2/baseline"
+        if spec.distance_m is None
+        else f"table2/{spec.distance_m:.3f}"
+    )
+    drive, bench = _fresh_bench(spec.seed, label, spec.duration_s)
+    if spec.distance_m is not None:
+        coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
+        coupling.apply(
+            drive,
+            AttackConfig(
+                frequency_hz=ATTACK_TONE_HZ,
+                source_level_db=ATTACK_LEVEL_DB,
+                distance_m=spec.distance_m,
+            ),
+        )
+    return bench.read_while_writing()
+
+
+def _encode_bench(result: DbBenchResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def _decode_bench(payload: dict) -> DbBenchResult:
+    return DbBenchResult(**payload)
+
+
 def run_table2(
     distances_m: Sequence[float] = DEFAULT_DISTANCES_M,
     duration_s: float = 1.0,
     seed: Optional[int] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: bool = False,
+    runner: "Optional[SweepRunner]" = None,
 ) -> Table2Result:
-    """Run the RocksDB range test of Section 4.3."""
-    coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
-    drive, bench = _fresh_bench(seed, "table2/baseline", duration_s)
-    result = Table2Result(baseline=bench.read_while_writing())
-    for distance in distances_m:
-        drive, bench = _fresh_bench(seed, f"table2/{distance:.3f}", duration_s)
-        config = AttackConfig(
-            frequency_hz=ATTACK_TONE_HZ,
-            source_level_db=ATTACK_LEVEL_DB,
-            distance_m=distance,
+    """Run the RocksDB range test of Section 4.3.
+
+    ``workers``/``cache_dir``/``progress`` fan the distances out over a
+    :class:`repro.runtime.SweepRunner`; pass ``runner`` to reuse a
+    configured (possibly checkpointing/retrying) one.  Without either
+    the distances run inline, exactly as before.
+    """
+    specs = [_Table2PointSpec(distance_m=None, duration_s=duration_s, seed=seed)]
+    specs.extend(
+        _Table2PointSpec(distance_m=distance, duration_s=duration_s, seed=seed)
+        for distance in distances_m
+    )
+    if runner is None:
+        runner = make_runner(workers=workers, cache_dir=cache_dir, progress=progress)
+    if runner is None:
+        mapped = [_table2_point_job(spec) for spec in specs]
+    else:
+        keys = [fingerprint("table2-point/v1", spec) for spec in specs]
+        mapped = runner.map(
+            _table2_point_job,
+            specs,
+            keys=keys,
+            encode=_encode_bench,
+            decode=_decode_bench,
+            label="table2",
         )
-        coupling.apply(drive, config)
-        result.points.append((distance, bench.read_while_writing()))
+    baseline = mapped[0]
+    if isinstance(baseline, PointFailure):
+        raise CampaignAborted(
+            "baseline db_bench measurement failed, cannot anchor Table 2: "
+            + baseline.describe()
+        )
+    result = Table2Result(baseline=baseline)
+    for spec, outcome in zip(specs[1:], mapped[1:]):
+        if isinstance(outcome, PointFailure):
+            result.failures.append(outcome)
+        else:
+            result.points.append((spec.distance_m, outcome))
     return result

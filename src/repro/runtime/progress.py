@@ -69,6 +69,9 @@ class ProgressReporter:
         self.telemetry = telemetry
         self.completed = 0
         self.cached = 0
+        self.resumed = 0
+        self.failed = 0
+        self.retries = 0
         self._started_at: Optional[float] = None
         self._last_emit_at = float("-inf")
 
@@ -79,22 +82,41 @@ class ProgressReporter:
         if self._started_at is None:
             self._started_at = self._time_fn()
 
-    def advance(self, cached: bool = False) -> None:
-        """Record one completed point (``cached`` = served from disk)."""
+    def advance(
+        self, cached: bool = False, resumed: bool = False, failed: bool = False
+    ) -> None:
+        """Record one completed point.
+
+        ``cached`` = served from the result cache, ``resumed`` = served
+        from a resumed checkpoint journal, ``failed`` = the point
+        degraded to a recorded failure row (it still counts as
+        completed: the campaign moved past it).
+        """
         self.start()
         self.completed += 1
         if cached:
             self.cached += 1
+        if resumed:
+            self.resumed += 1
+        if failed:
+            self.failed += 1
         if self.telemetry is not None:
+            source = "fresh"
+            if cached:
+                source = "cached"
+            elif resumed:
+                source = "resumed"
             self.telemetry.metrics.counter(
-                "campaign_points_total",
-                label=self.label,
-                source="cached" if cached else "fresh",
+                "campaign_points_total", label=self.label, source=source
             ).inc()
         now = self._time_fn()
         if self.completed >= self.total or now - self._last_emit_at >= self.min_interval_s:
             self._last_emit_at = now
             self._emit(now)
+
+    def note_retry(self) -> None:
+        """Record one retried attempt (does not advance completion)."""
+        self.retries += 1
 
     def finish(self) -> str:
         """Print and return the final summary line."""
@@ -122,8 +144,8 @@ class ProgressReporter:
 
     @property
     def fresh(self) -> int:
-        """Points actually measured (not served from the cache)."""
-        return self.completed - self.cached
+        """Points actually measured (not served from cache or journal)."""
+        return self.completed - self.cached - self.resumed
 
     @property
     def cache_hit_rate(self) -> float:
@@ -147,12 +169,23 @@ class ProgressReporter:
         return (self.total - self.completed) / rate
 
     def summary(self) -> str:
-        """One-line campaign summary: fresh and cached rates separately."""
+        """One-line campaign summary: fresh and cached rates separately.
+
+        Resume, retry, and failure counts only appear when non-zero so
+        the healthy-path line stays unchanged.
+        """
+        extras = ""
+        if self.resumed:
+            extras += f", {self.resumed} resumed"
+        if self.retries:
+            extras += f", {self.retries} retries"
+        if self.failed:
+            extras += f", {self.failed} failed"
         return (
             f"[{self.label}] {self.completed}/{self.total} points in "
             f"{self.elapsed_s:.1f}s ({self.points_per_second:.1f} points/s: "
             f"{self.fresh} fresh, {self.cached} from cache "
-            f"[{100.0 * self.cache_hit_rate:.0f}% hit])"
+            f"[{100.0 * self.cache_hit_rate:.0f}% hit]{extras})"
         )
 
     def _emit(self, now: float) -> None:

@@ -71,38 +71,70 @@ KM = 1e3
 
 
 def db_to_ratio(db: float) -> float:
-    """Convert a decibel *amplitude* gain to a linear pressure ratio."""
+    """Convert a decibel *amplitude* gain to a linear pressure ratio.
+
+    >>> db_to_ratio(0.0)
+    1.0
+    >>> db_to_ratio(20.0)
+    10.0
+    """
     return 10.0 ** (db / 20.0)
 
 
 def ratio_to_db(ratio: float) -> float:
-    """Convert a linear pressure ratio to decibels (amplitude convention)."""
+    """Convert a linear pressure ratio to decibels (amplitude convention).
+
+    >>> ratio_to_db(10.0)
+    20.0
+    >>> ratio_to_db(0.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.UnitError: pressure ratio must be positive, got 0.0
+    """
     if ratio <= 0.0:
         raise UnitError(f"pressure ratio must be positive, got {ratio!r}")
     return 20.0 * math.log10(ratio)
 
 
 def db_power_to_ratio(db: float) -> float:
-    """Convert a decibel *power* gain to a linear power ratio."""
+    """Convert a decibel *power* gain to a linear power ratio.
+
+    >>> db_power_to_ratio(10.0)
+    10.0
+    """
     return 10.0 ** (db / 10.0)
 
 
 def mb_per_s(bytes_count: float, seconds: float) -> float:
-    """Throughput in MB/s (decimal megabytes, matching FIO's reporting)."""
+    """Throughput in MB/s (decimal megabytes, matching FIO's reporting).
+
+    >>> mb_per_s(5_000_000, 2.0)
+    2.5
+    """
     if seconds <= 0.0:
         raise UnitError(f"duration must be positive, got {seconds!r}")
     return bytes_count / 1e6 / seconds
 
 
 def rpm_to_rev_time(rpm: float) -> float:
-    """Rotation period in seconds of a spindle turning at ``rpm``."""
+    """Rotation period in seconds of a spindle turning at ``rpm``.
+
+    >>> rpm_to_rev_time(6000.0)
+    0.01
+    >>> round(rpm_to_rev_time(7200.0) * 1e3, 3)  # the victim drive, in ms
+    8.333
+    """
     if rpm <= 0.0:
         raise UnitError(f"spindle speed must be positive, got {rpm!r}")
     return 60.0 / rpm
 
 
 def celsius_to_kelvin(celsius: float) -> float:
-    """Convert Celsius to Kelvin, validating against absolute zero."""
+    """Convert Celsius to Kelvin, validating against absolute zero.
+
+    >>> celsius_to_kelvin(20.0)
+    293.15
+    """
     kelvin = celsius + 273.15
     if kelvin < 0.0:
         raise UnitError(f"temperature below absolute zero: {celsius!r} C")
@@ -114,6 +146,11 @@ def depth_to_pressure_atm(depth_m: float) -> float:
 
     Hydrostatic pressure rises roughly one atmosphere every 10 metres of
     sea water; used by the absorption formulas.
+
+    >>> depth_to_pressure_atm(0.0)
+    1.0
+    >>> depth_to_pressure_atm(10.0)
+    2.0
     """
     if depth_m < 0.0:
         raise UnitError(f"depth must be non-negative, got {depth_m!r}")
