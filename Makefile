@@ -27,8 +27,8 @@ docs-check: ## CI gate: fail if docs/CLI.md is stale
 bench:      ## paper-scale benchmarks (writes results/*.txt)
 	$(PYTHON) -m pytest -q benchmarks
 
-bench-json: ## machine-readable perf trajectory (writes BENCH_PR3.json)
-	$(PYTHON) tools/bench_json.py --out BENCH_PR3.json
+bench-json: ## machine-readable perf trajectory (writes BENCH_PR6.json)
+	$(PYTHON) tools/bench_json.py --out BENCH_PR6.json
 
 trace-smoke: ## tiny traced sweep + trace schema validation
 	$(PYTHON) -m repro.cli figure2 --runtime 0.2 --seed 7 \

@@ -35,8 +35,10 @@ __all__ = [
 
 
 def _check_frequency(frequency_hz: float) -> float:
-    if frequency_hz <= 0.0:
-        raise UnitError(f"frequency must be positive: {frequency_hz}")
+    # `not (0 < f < inf)` also rejects NaN and +inf, which `f <= 0`
+    # would wave through and turn into NaN absorption downstream.
+    if not (0.0 < frequency_hz < math.inf):
+        raise UnitError(f"frequency must be positive and finite: {frequency_hz}")
     return frequency_hz / 1000.0  # both formulas work in kHz
 
 

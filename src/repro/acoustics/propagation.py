@@ -33,9 +33,9 @@ def spherical_spreading_db(distance_m: float, reference_m: float = 1.0) -> float
     Distances inside the reference sphere are clamped to zero loss: the
     source level is already defined there.
     """
-    if distance_m <= 0.0:
+    if not (distance_m > 0.0):  # rejects NaN as well as <= 0
         raise UnitError(f"distance must be positive: {distance_m}")
-    if reference_m <= 0.0:
+    if not (reference_m > 0.0):
         raise UnitError(f"reference distance must be positive: {reference_m}")
     if distance_m <= reference_m:
         return 0.0

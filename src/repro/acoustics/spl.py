@@ -41,9 +41,9 @@ def pressure_to_spl(pressure_pa: float, reference_pa: float = P_REF_WATER) -> fl
     >>> round(pressure_to_spl(1.0), 1)  # 1 Pa RMS underwater
     120.0
     """
-    if pressure_pa <= 0.0:
+    if not (pressure_pa > 0.0):  # rejects NaN as well as <= 0
         raise UnitError(f"pressure must be positive: {pressure_pa}")
-    if reference_pa <= 0.0:
+    if not (reference_pa > 0.0):
         raise UnitError(f"reference pressure must be positive: {reference_pa}")
     return 20.0 * math.log10(pressure_pa / reference_pa)
 
@@ -56,7 +56,7 @@ def spl_to_pressure(spl_db: float, reference_pa: float = P_REF_WATER) -> float:
     >>> round(spl_to_pressure(140.0), 6)  # the paper's attack level
     10.0
     """
-    if reference_pa <= 0.0:
+    if not (reference_pa > 0.0):  # rejects NaN as well as <= 0
         raise UnitError(f"reference pressure must be positive: {reference_pa}")
     return reference_pa * 10.0 ** (spl_db / 20.0)
 
@@ -86,12 +86,16 @@ def spl_sum(levels_db: Iterable[float]) -> float:
     """Energetically sum incoherent sources given in dB (same reference).
 
     Two equal sources sum to +3 dB; an empty iterable is rejected because
-    "no sound" has no finite level.
+    "no sound" has no finite level.  Sources at ``-inf`` dB contribute
+    zero power, so a set of only silent sources sums to ``-inf`` rather
+    than tripping a ``log10(0)`` domain error.
 
     >>> round(spl_sum([100.0, 100.0]), 2)
     103.01
     >>> spl_sum([140.0])
     140.0
+    >>> spl_sum([float("-inf"), float("-inf")])
+    -inf
     """
     total_power = 0.0
     count = 0
@@ -100,4 +104,6 @@ def spl_sum(levels_db: Iterable[float]) -> float:
         count += 1
     if count == 0:
         raise UnitError("cannot sum an empty set of levels")
+    if total_power == 0.0:
+        return -math.inf
     return 10.0 * math.log10(total_power)

@@ -62,9 +62,14 @@ class VibrationInput:
     displacement_m: float
 
     def __post_init__(self) -> None:
-        if self.frequency_hz <= 0.0:
-            raise UnitError(f"frequency must be positive: {self.frequency_hz}")
-        if self.displacement_m < 0.0:
+        # NaN-rejecting guards: a NaN frequency/displacement would sail
+        # through `<= 0` / `< 0` checks and poison the whole chain.
+        # +inf displacement stays legal — it is a legitimate stall.
+        if not (0.0 < self.frequency_hz < math.inf):
+            raise UnitError(
+                f"frequency must be positive and finite: {self.frequency_hz}"
+            )
+        if not (self.displacement_m >= 0.0):
             raise UnitError(f"displacement must be non-negative: {self.displacement_m}")
 
     @staticmethod
@@ -189,8 +194,8 @@ class ServoSystem:
         absorb slow disturbances steeply (40-60 dB/decade); near and
         above the corner the disturbance passes through.
         """
-        if frequency_hz <= 0.0:
-            raise UnitError(f"frequency must be positive: {frequency_hz}")
+        if not (0.0 < frequency_hz < math.inf):
+            raise UnitError(f"frequency must be positive and finite: {frequency_hz}")
         memo = self._memo
         if memo is None:
             memo = self._fresh_memo()

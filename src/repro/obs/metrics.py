@@ -22,6 +22,7 @@ cross-component aggregate view.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -130,8 +131,13 @@ class Histogram:
 
     def percentile(self, pct: float) -> float:
         """Approximate percentile: the upper bound of the bucket that
-        contains the requested rank (+Inf bucket reports the last
-        finite bound)."""
+        contains the requested rank.
+
+        A rank that lands in the implicit overflow bucket reports
+        ``math.inf`` — the histogram only knows those observations
+        exceeded the last finite bound, and reporting that bound would
+        silently under-state p99/p999 tail latency.
+        """
         if not 0.0 <= pct <= 100.0:
             raise ConfigurationError(f"percentile out of range: {pct}")
         if self.count == 0:
@@ -141,7 +147,9 @@ class Histogram:
         for index, count in enumerate(self.counts):
             seen += count
             if seen >= rank and count:
-                return self.bounds[min(index, len(self.bounds) - 1)]
+                if index == len(self.bounds):
+                    return math.inf
+                return self.bounds[index]
         return self.bounds[-1]
 
 
@@ -248,7 +256,19 @@ class MetricsRegistry:
         for name, labels, bounds, counts, total, count in snapshot.get(
             "histograms", []
         ):
-            metric = self.histogram(name, bounds=bounds, **dict(labels))
+            label_map = dict(labels)
+            existing = self._histograms.get((name, _labels_key(label_map)))
+            snapshot_bounds = tuple(float(b) for b in bounds)
+            if existing is not None and snapshot_bounds != existing.bounds:
+                # Same bucket *count* does not mean same bucket *edges*;
+                # adding such counts elementwise would silently
+                # mis-bucket, so refuse with a merge-specific error.
+                raise ConfigurationError(
+                    f"histogram {name!r}: cannot merge snapshot with bounds "
+                    f"{list(snapshot_bounds)} into registered bounds "
+                    f"{list(existing.bounds)}"
+                )
+            metric = self.histogram(name, bounds=bounds, **label_map)
             if len(counts) != len(metric.counts):
                 raise ConfigurationError(
                     f"histogram {name!r}: merging {len(counts)} buckets "

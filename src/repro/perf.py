@@ -16,9 +16,11 @@ environment variables (read once at import)::
 
     REPRO_SERVO_CACHE=0    # disable servo/modal memoization
     REPRO_IO_FAST_PATH=0   # disable controller fast path + locate cache
+    REPRO_VEC_PHYSICS=0    # disable the numpy-vectorized kernels
 
 or toggled in-process with :func:`perf_baseline` /
-:func:`set_servo_cache_enabled` / :func:`set_io_fast_path_enabled`.
+:func:`set_servo_cache_enabled` / :func:`set_io_fast_path_enabled` /
+:func:`set_vec_physics_enabled`.
 Components read the flags when they are *constructed* (a fresh drive,
 controller, or servo picks up the current setting), except the shared
 geometry locate cache, which consults the flag per call so an already
@@ -34,8 +36,10 @@ from typing import Iterator
 __all__ = [
     "servo_cache_enabled",
     "io_fast_path_enabled",
+    "vec_physics_enabled",
     "set_servo_cache_enabled",
     "set_io_fast_path_enabled",
+    "set_vec_physics_enabled",
     "perf_baseline",
 ]
 
@@ -51,6 +55,7 @@ def _env_flag(name: str, default: bool = True) -> bool:
 
 _servo_cache: bool = _env_flag("REPRO_SERVO_CACHE")
 _io_fast_path: bool = _env_flag("REPRO_IO_FAST_PATH")
+_vec_physics: bool = _env_flag("REPRO_VEC_PHYSICS")
 
 
 def servo_cache_enabled() -> bool:
@@ -61,6 +66,11 @@ def servo_cache_enabled() -> bool:
 def io_fast_path_enabled() -> bool:
     """True when the controller/geometry fast paths are active."""
     return _io_fast_path
+
+
+def vec_physics_enabled() -> bool:
+    """True when the numpy-vectorized kernels may be used."""
+    return _vec_physics
 
 
 def set_servo_cache_enabled(enabled: bool) -> bool:
@@ -79,6 +89,14 @@ def set_io_fast_path_enabled(enabled: bool) -> bool:
     return previous
 
 
+def set_vec_physics_enabled(enabled: bool) -> bool:
+    """Set the vectorized-kernel flag; returns the previous value."""
+    global _vec_physics
+    previous = _vec_physics
+    _vec_physics = bool(enabled)
+    return previous
+
+
 @contextmanager
 def perf_baseline() -> Iterator[None]:
     """Run a block with every hot-path optimization disabled.
@@ -89,8 +107,10 @@ def perf_baseline() -> Iterator[None]:
     """
     servo_prev = set_servo_cache_enabled(False)
     io_prev = set_io_fast_path_enabled(False)
+    vec_prev = set_vec_physics_enabled(False)
     try:
         yield
     finally:
         set_servo_cache_enabled(servo_prev)
         set_io_fast_path_enabled(io_prev)
+        set_vec_physics_enabled(vec_prev)

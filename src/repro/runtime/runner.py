@@ -42,6 +42,7 @@ import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.errors import (
     CampaignAborted,
     ConfigurationError,
@@ -102,6 +103,29 @@ def _attempt_job(
     if with_telemetry:
         return _telemetry_point_job(fn, spec)
     return fn(spec), None, None
+
+
+#: Target submissions per worker for the batched pool engine: enough
+#: chunks that a slow worker cannot stall the tail, few enough that
+#: pickling/IPC overhead stays amortized across many points.
+_BATCH_CHUNKS_PER_WORKER = 4
+
+
+def _batched_attempt_job(
+    fn: Callable[[Any], Any],
+    specs: Sequence[Any],
+    with_telemetry: bool,
+):
+    """A contiguous chunk of point attempts as one pool task.
+
+    With the vectorized kernels a sweep point costs tens of
+    microseconds, so per-point ``pool.submit`` pickling dominates the
+    wall clock on small grids.  Batching amortizes that overhead; each
+    point still runs through :func:`_attempt_job` (fault-free — the
+    batched engine only runs when no fault plan is installed), so
+    per-point results and telemetry snapshots are unchanged.
+    """
+    return [_attempt_job(fn, spec, None, with_telemetry) for spec in specs]
 
 
 def make_runner(
@@ -533,6 +557,16 @@ class SweepRunner:
         pending: Sequence[int],
         context: _MapContext,
     ) -> None:
+        if (
+            self.retry is None
+            and self.fault_plan is None
+            and perf.vec_physics_enabled()
+        ):
+            # Legacy semantics (first exception propagates, no retries,
+            # no deadlines) — safe to trade the per-point state machine
+            # for chunked submissions that amortize pool overhead.
+            self._execute_pool_batched(fn, specs, pending, context)
+            return
         timeout_s = self.retry.point_timeout_s if self.retry is not None else None
         waiting: List[_PointState] = [
             _PointState(index, context.ordinals[index]) for index in pending
@@ -600,6 +634,64 @@ class SweepRunner:
                     pool, waiting = self._expire_timeouts(
                         pool, inflight, waiting, context, len(pending)
                     )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _execute_pool_batched(
+        self,
+        fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        pending: Sequence[int],
+        context: _MapContext,
+    ) -> None:
+        """Pool execution with chunked job payloads (no retry layer).
+
+        Splits the pending indices into contiguous chunks and submits
+        each chunk as one :func:`_batched_attempt_job`.  Results are
+        completed per point in chunk order, so caching, journaling, and
+        telemetry snapshots behave exactly as with per-point submission;
+        a point exception propagates (legacy behavior), and a dead
+        worker surfaces as :class:`WorkerCrashed`.
+        """
+        chunk = max(
+            1, -(-len(pending) // (self.workers * _BATCH_CHUNKS_PER_WORKER))
+        )
+        batches = [
+            list(pending[offset : offset + chunk])
+            for offset in range(0, len(pending), chunk)
+        ]
+        pool = self._new_pool(len(batches))
+        try:
+            futures: Dict[concurrent.futures.Future, List[int]] = {}
+            for batch in batches:
+                try:
+                    future = pool.submit(
+                        _batched_attempt_job,
+                        fn,
+                        [specs[index] for index in batch],
+                        context.with_telemetry,
+                    )
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    raise WorkerCrashed(
+                        f"a campaign worker died after "
+                        f"{context.reporter.completed} of "
+                        f"{context.reporter.total} points "
+                        f"(pid {os.getpid()} lost its pool): {exc}"
+                    ) from exc
+                futures[future] = batch
+            for future in concurrent.futures.as_completed(list(futures)):
+                batch = futures[future]
+                try:
+                    outcomes = future.result()
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    raise WorkerCrashed(
+                        f"a campaign worker died after "
+                        f"{context.reporter.completed} of "
+                        f"{context.reporter.total} points "
+                        f"(pid {os.getpid()} lost its pool): {exc}"
+                    ) from exc
+                for index, (value, trace_snap, metric_snap) in zip(batch, outcomes):
+                    context.complete_ok(index, value, trace_snap, metric_snap)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 

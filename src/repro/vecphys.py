@@ -1,0 +1,572 @@
+"""Vectorized (batched) physics kernels for the transmission chain.
+
+The Figure 2 / Table 1 campaigns evaluate the acoustics -> enclosure
+wall -> mount -> servo chain at one frequency per call, thousands of
+times per sweep.  This module batches that chain: one call takes a whole
+frequency grid (plus displacements, pressures, or a drive scenario) and
+returns numpy arrays.
+
+**Bit-parity contract.**  Every kernel reproduces the scalar chain's
+results *exactly* — not approximately.  That constrains the
+implementation in two ways:
+
+* numpy is used only for operations that are IEEE-754-identical to their
+  Python equivalents: elementwise ``+ - * /``, comparisons, ``diff``,
+  ``cumsum`` (which accumulates strictly left-to-right, matching a
+  scalar ``+=`` chain), and ``searchsorted``.
+* every power (including ``x ** 2``) and transcendental (``log10``,
+  ``exp``, ``asin``, ``10 ** x``) is evaluated per element with the same
+  ``math`` / ``**`` calls the scalar code makes, because numpy's pow and
+  transcendental kernels round differently from libm in the last ulp.
+  The batch win on those stages comes from hoisting the per-call
+  constant folding, memo probing, and attribute dispatch out of the
+  loop, not from SIMD.
+
+The big vector win is :func:`run_sequential_static`: in the healthy
+regime (per-attempt success probability >= 1) a sequential FIO run is a
+closed-form arithmetic series, so the whole per-op issue loop collapses
+into one ``cumsum``/``searchsorted`` evaluation with identical clock
+timings, latencies, counters, and RNG stream (zero draws) to the scalar
+walk.  Degraded and stalled points fall back to the scalar path, which
+is cheap there because the runtime window holds few operations.
+
+Callers gate on :func:`repro.perf.vec_physics_enabled` (environment
+variable ``REPRO_VEC_PHYSICS``); :func:`repro.perf.perf_baseline`
+disables the kernels along with the other hot-path optimizations.
+numpy itself is optional — :func:`available` reports whether the
+kernels can run at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+from repro.errors import ConfigurationError, UnitError
+from repro.hdd.servo import OpKind
+from repro.units import KM, SECTOR_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.acoustics.medium import WaterConditions
+    from repro.acoustics.propagation import PropagationModel
+    from repro.core.coupling import AttackCoupling
+    from repro.core.scenario import Scenario
+    from repro.hdd.servo import ServoSystem
+    from repro.vibration.enclosure import Enclosure
+    from repro.vibration.modes import ModalResponse
+    from repro.vibration.mount import Mount
+    from repro.vibration.transmission import PanelWall
+    from repro.workloads.fio import FioJob, FioResult, FioTester
+
+__all__ = [
+    "available",
+    "modal_response",
+    "panel_displacement_per_pascal",
+    "frame_displacement_per_pascal",
+    "mount_transmissibility",
+    "servo_rejection",
+    "servo_offtrack_amplitude",
+    "servo_success_probability",
+    "absorption_db_per_km",
+    "transmission_loss_db",
+    "chassis_displacement",
+    "sweep_surface",
+    "run_sequential_static",
+]
+
+#: Backstop for the closed-form op-count search: a sweep point's FIO run
+#: is a few thousand ops; anything needing more slots than this signals
+#: a pathological (runtime, service-time) pair better served scalar.
+_MAX_CLOSED_FORM_OPS = 50_000_000
+
+
+def available() -> bool:
+    """True when numpy is importable and the kernels can run."""
+    return _np is not None
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise ConfigurationError(
+            "repro.vecphys needs numpy, which is not installed; "
+            "use the scalar chain instead"
+        )
+
+
+def _grid(frequencies: Sequence[float]) -> List[float]:
+    """Validate a frequency grid exactly like the scalar guards."""
+    freqs = []
+    for f in frequencies:
+        f = float(f)
+        if not (0.0 < f < math.inf):
+            raise UnitError(f"frequency must be positive and finite: {f}")
+        freqs.append(f)
+    return freqs
+
+
+def _array(values: Sequence[float]):
+    return _np.asarray(values, dtype=_np.float64)
+
+
+def _paired(name: str, a: Sequence, b: Sequence) -> None:
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"{name}: got {len(a)} frequencies for {len(b)} values"
+        )
+
+
+# --------------------------------------------------------------------------
+# Vibration chain kernels
+# --------------------------------------------------------------------------
+
+
+def modal_response(modes: "ModalResponse", frequencies: Sequence[float]):
+    """Batched :meth:`repro.vibration.modes.ModalResponse.response`."""
+    _require_numpy()
+    consts = [
+        (mode.frequency_hz, mode.damping_ratio, mode.gain) for mode in modes.modes
+    ]
+    sqrt = math.sqrt
+    out = []
+    for f in _grid(frequencies):
+        total_sq = 0
+        for f0, zeta, gain in consts:
+            r = f / f0
+            denom = sqrt((1.0 - r * r) ** 2 + (2.0 * zeta * r) ** 2)
+            total_sq += (gain / denom) ** 2
+        out.append(sqrt(total_sq))
+    return _array(out)
+
+
+def panel_displacement_per_pascal(wall: "PanelWall", frequencies: Sequence[float]):
+    """Batched :meth:`repro.vibration.transmission.PanelWall.displacement_per_pascal`."""
+    _require_numpy()
+    m_eff = wall.effective_surface_density
+    omega0 = 2.0 * math.pi * wall.fundamental_frequency_hz
+    omega0_sq = omega0 ** 2
+    structural = wall.material.loss_factor / 2.0
+    two_m = 2.0 * m_eff
+    impedance = wall.fluid_impedance
+    sqrt = math.sqrt
+    out = []
+    for f in _grid(frequencies):
+        omega = 2.0 * math.pi * f
+        radiation = impedance / (two_m * omega)
+        zeta = structural + min(radiation, 2.0)
+        denom = sqrt((omega0_sq - omega ** 2) ** 2 + (2.0 * zeta * omega0 * omega) ** 2)
+        if denom <= 0.0:  # exactly on an undamped resonance (zeta == 0 impossible)
+            denom = 1e-12
+        out.append(1.0 / (m_eff * denom))
+    return _array(out)
+
+
+def frame_displacement_per_pascal(
+    enclosure: "Enclosure", frequencies: Sequence[float]
+):
+    """Batched :meth:`repro.vibration.enclosure.Enclosure.frame_displacement_per_pascal`."""
+    _require_numpy()
+    freqs = _grid(frequencies)
+    wall = panel_displacement_per_pascal(enclosure.wall, freqs).tolist()
+    gain = enclosure.structural_gain
+    rolloff = enclosure.stiffness_rolloff_hz
+    out = []
+    for f, per_pascal in zip(freqs, wall):
+        displacement = gain * per_pascal
+        if rolloff is not None:
+            r2 = (f / rolloff) ** 2
+            displacement /= 1.0 + r2
+        out.append(displacement)
+    return _array(out)
+
+
+def mount_transmissibility(mount: "Mount", frequencies: Sequence[float]):
+    """Batched :meth:`repro.vibration.mount.Mount.transmissibility`."""
+    _require_numpy()
+    freqs = _grid(frequencies)
+    base_gain = mount.base_gain
+    if mount.modes is None:
+        return _array([base_gain] * len(freqs))
+    modal = modal_response(mount.modes, freqs).tolist()
+    return _array([base_gain * m for m in modal])
+
+
+# --------------------------------------------------------------------------
+# Servo kernels
+# --------------------------------------------------------------------------
+
+
+def servo_rejection(servo: "ServoSystem", frequencies: Sequence[float]):
+    """Batched :meth:`repro.hdd.servo.ServoSystem.rejection`."""
+    _require_numpy()
+    corner = servo.rejection_corner_hz
+    order = servo.rejection_order
+    out = []
+    for f in _grid(frequencies):
+        r2 = (f / corner) ** 2
+        out.append((r2 / (1.0 + r2)) ** order)
+    return _array(out)
+
+
+def _displacements(displacements: Sequence[float]) -> List[float]:
+    disps = []
+    for d in displacements:
+        d = float(d)
+        if not (d >= 0.0):
+            raise UnitError(f"displacement must be non-negative: {d}")
+        disps.append(d)
+    return disps
+
+
+def servo_offtrack_amplitude(
+    servo: "ServoSystem",
+    frequencies: Sequence[float],
+    displacements: Sequence[float],
+):
+    """Batched :meth:`repro.hdd.servo.ServoSystem.offtrack_amplitude_m`."""
+    _require_numpy()
+    freqs = _grid(frequencies)
+    disps = _displacements(displacements)
+    _paired("servo_offtrack_amplitude", freqs, disps)
+    hsa = modal_response(servo.hsa, freqs).tolist()
+    rej = servo_rejection(servo, freqs).tolist()
+    head_gain = servo.head_gain
+    out = []
+    for d, h, r in zip(disps, hsa, rej):
+        if d == 0.0:
+            out.append(0.0)
+        else:
+            mechanical = h * head_gain
+            out.append(d * mechanical * r)
+    return _array(out)
+
+
+def servo_success_probability(
+    servo: "ServoSystem",
+    op: OpKind,
+    frequencies: Sequence[float],
+    displacements: Sequence[float],
+):
+    """Batched :meth:`repro.hdd.servo.ServoSystem.success_probability`."""
+    _require_numpy()
+    freqs = _grid(frequencies)
+    amps = servo_offtrack_amplitude(servo, freqs, displacements).tolist()
+    limit = servo.servo_limit_m
+    threshold = servo.threshold_m(op)
+    window = servo.write_window_s if op is OpKind.WRITE else servo.read_window_s
+    onset = servo.grazing_onset * threshold
+    span = threshold - onset
+    penalty = servo.grazing_penalty
+    exponent = servo.grazing_exponent
+    asin = math.asin
+    pi = math.pi
+    out = []
+    for a, f in zip(amps, freqs):
+        if a >= limit:
+            out.append(0.0)
+        elif a <= 0.0:
+            out.append(1.0)
+        elif a <= threshold:
+            if a <= onset:
+                out.append(1.0)
+            else:
+                frac = (a - onset) / span
+                out.append(1.0 - penalty * frac ** exponent)
+        else:
+            on_track = asin(threshold / a) / (pi * f)
+            usable = max(0.0, on_track - window)
+            out.append(min(1.0, 2.0 * f * usable))
+    return _array(out)
+
+
+# --------------------------------------------------------------------------
+# Acoustics kernels
+# --------------------------------------------------------------------------
+
+
+def absorption_db_per_km(
+    conditions: "WaterConditions", frequencies: Sequence[float]
+):
+    """Batched :func:`repro.acoustics.absorption.absorption_for_conditions`."""
+    _require_numpy()
+    freqs = _grid(frequencies)
+    t = conditions.temperature_c
+    z_km = conditions.depth_m / 1000.0
+    exp = math.exp
+    out = []
+    if conditions.salinity_ppt < 0.5:
+        # Fresh water: only the viscous term survives; the exponential
+        # is frequency-independent and hoists out of the loop.
+        viscous_exp = exp(-(t / 27.0 + z_km / 17.0))
+        for f_hz in freqs:
+            f = f_hz / 1000.0
+            out.append(0.00049 * f * f * viscous_exp)
+        return _array(out)
+    s = conditions.salinity_ppt
+    ph = conditions.ph
+    f1 = 0.78 * math.sqrt(s / 35.0) * exp(t / 26.0)
+    f2 = 42.0 * exp(t / 17.0)
+    f1_sq = f1 * f1
+    f2_sq = f2 * f2
+    ph_term = exp((ph - 8.0) / 0.56)
+    mg_pre = 0.52 * (1.0 + t / 43.0) * (s / 35.0)
+    mg_exp = exp(-z_km / 6.0)
+    viscous_exp = exp(-(t / 27.0 + z_km / 17.0))
+    for f_hz in freqs:
+        f = f_hz / 1000.0
+        boric = 0.106 * (f1 * f * f) / (f1_sq + f * f) * ph_term
+        magnesium = mg_pre * (f2 * f * f) / (f2_sq + f * f) * mg_exp
+        viscous = 0.00049 * f * f * viscous_exp
+        out.append(boric + magnesium + viscous)
+    return _array(out)
+
+
+def transmission_loss_db(
+    model: "PropagationModel", distance_m: float, frequencies: Sequence[float]
+):
+    """Batched :meth:`repro.acoustics.propagation.PropagationModel.transmission_loss_db`."""
+    _require_numpy()
+    from repro.acoustics.propagation import spherical_spreading_db
+
+    freqs = _grid(frequencies)
+    spreading = spherical_spreading_db(distance_m, model.reference_m)
+    per_km = distance_m / KM
+    alphas = absorption_db_per_km(model.conditions, freqs)
+    return spreading + alphas * per_km
+
+
+# --------------------------------------------------------------------------
+# Scenario / coupling surfaces
+# --------------------------------------------------------------------------
+
+
+def chassis_displacement(
+    scenario: "Scenario",
+    pressures_pa: Sequence[float],
+    frequencies: Sequence[float],
+):
+    """Batched :meth:`repro.core.scenario.Scenario.chassis_displacement_m`."""
+    _require_numpy()
+    freqs = _grid(frequencies)
+    pressures = [float(p) for p in pressures_pa]
+    _paired("chassis_displacement", freqs, pressures)
+    frame = frame_displacement_per_pascal(scenario.enclosure, freqs).tolist()
+    mount = mount_transmissibility(scenario.mount, freqs).tolist()
+    coupling_gain = scenario.calibration.structure_coupling
+    out = []
+    for pressure, wall, transmissibility in zip(pressures, frame, mount):
+        if pressure < 0.0:
+            raise UnitError(f"pressure must be non-negative: {pressure}")
+        if pressure == 0.0:
+            out.append(0.0)
+        else:
+            out.append(pressure * wall * coupling_gain * transmissibility)
+    return _array(out)
+
+
+def sweep_surface(
+    coupling: "AttackCoupling",
+    base_config,
+    frequencies: Sequence[float],
+    servo: "Optional[ServoSystem]" = None,
+) -> "Dict[str, object]":
+    """Per-frequency attack response surface for one scenario.
+
+    Evaluates the attacker -> water -> wall stage with the scalar chain
+    (it is control-flow heavy — drive clamping, tank bounds — and costs
+    one call per frequency) and batches everything from the wall onward.
+    Returns arrays keyed ``frequency_hz``, ``wall_pressure_pa``,
+    ``displacement_m``, ``offtrack_m``, ``p_write``, ``p_read``, and the
+    boolean ``stalled`` (no-response regime).  Every value is
+    bit-identical to the scalar chain at the same frequency.
+    """
+    _require_numpy()
+    freqs = _grid(frequencies)
+    if servo is None:
+        from repro.hdd.profiles import BARRACUDA_500GB
+
+        servo = BARRACUDA_500GB.servo
+    pressures = [
+        coupling.wall_pressure_pa(base_config.at_frequency(f)) for f in freqs
+    ]
+    displacements = chassis_displacement(coupling.scenario, pressures, freqs)
+    disp_list = displacements.tolist()
+    offtrack = servo_offtrack_amplitude(servo, freqs, disp_list)
+    return {
+        "frequency_hz": _array(freqs),
+        "wall_pressure_pa": _array(pressures),
+        "displacement_m": displacements,
+        "offtrack_m": offtrack,
+        "p_write": servo_success_probability(servo, OpKind.WRITE, freqs, disp_list),
+        "p_read": servo_success_probability(servo, OpKind.READ, freqs, disp_list),
+        "stalled": offtrack >= servo.servo_limit_m,
+    }
+
+
+# --------------------------------------------------------------------------
+# Closed-form sequential FIO evaluation
+# --------------------------------------------------------------------------
+
+
+def run_sequential_static(
+    tester: "FioTester", job: "FioJob", result: "FioResult"
+) -> "Optional[FioResult]":
+    """Evaluate a healthy-regime sequential FIO run in closed form.
+
+    When every attempt succeeds deterministically (success probability
+    >= 1) and the drive state is static, the scalar issue loop is a pure
+    arithmetic series: op ``k`` starts at ``T[k] = T[k-1] + base`` with a
+    constant near-track service time after the first op.  This function
+    reproduces that walk with one ``cumsum`` (bit-identical to the
+    scalar ``+=`` chain), derives the op count with ``searchsorted`` on
+    the elapsed times, and commits exactly the clock, counter, cache,
+    and head-position state the scalar loop would leave behind — with
+    zero RNG draws, matching the scalar path's ``p >= 1`` short-circuit.
+
+    Returns ``result`` (filled in) on success, or None when the run is
+    not eligible (degraded/stalled point, random mode, telemetry on,
+    vibration schedule, cursor wrap, ...) — the caller then takes the
+    scalar loop unchanged.
+    """
+    if _np is None:
+        return None
+    drive = tester.drive
+    if job.mode.is_random or tester._obs is not None or drive._obs is not None:
+        return None
+    if drive._schedule is not None or not drive._fast_path:
+        return None
+    controller = drive.controller
+    if controller._attempt_tracer is not None:
+        return None
+    runtime_s = job.runtime_s
+    if not (0.0 < runtime_s < math.inf):
+        return None
+    is_write = job.mode.is_write
+    if not is_write and drive.store_data:
+        return None  # scalar reads consult the sector store
+
+    # Replicate the controller's per-command (vibration, parked)
+    # identity cache exactly as the first scalar op would, so a fallback
+    # after this point leaves the same state a scalar run produces.
+    profile = controller.profile
+    vibration = drive.vibration
+    parked = drive.parked
+    op = OpKind.WRITE if is_write else OpKind.READ
+    if (
+        controller._static_vibration is not vibration
+        or controller._static_parked != parked
+    ):
+        controller._static_vibration = vibration
+        controller._static_parked = parked
+        controller._static_p_read = None
+        controller._static_p_write = None
+    success_p = (
+        controller._static_p_write if is_write else controller._static_p_read
+    )
+    if success_p is None:
+        success_p = (
+            0.0 if parked else profile.servo.success_probability(op, vibration)
+        )
+        if is_write:
+            controller._static_p_write = success_p
+        else:
+            controller._static_p_read = success_p
+    if success_p < 1.0:
+        return None  # degraded or stalled: few ops, scalar walk is cheap
+
+    region_start = job.region_start_lba
+    region_end = min(region_start + job.region_sectors, drive.total_sectors)
+    sectors_per_block = job.sectors_per_block
+    span_blocks = (region_end - region_start) // sectors_per_block
+    if span_blocks <= 0:
+        return None  # scalar path raises the ConfigurationError
+
+    # Service times: the first op may pay a seek; afterwards consecutive
+    # sequential ops advance at most one track, so they all share the
+    # memoized zero-seek base.
+    nbytes = sectors_per_block * 512
+    cache = controller._service_write if is_write else controller._service_read
+    base = cache.get(nbytes)
+    cache_missing = base is None
+    if cache_missing:
+        overhead = (
+            profile.write_overhead_s if is_write else profile.read_overhead_s
+        )
+        base = overhead + profile.transfer_time_s(nbytes)
+    track0, _ = profile.geometry.locate(region_start)
+    distance = track0 - controller.current_track
+    op0_near = -1 <= distance <= 1
+    if op0_near:
+        base0 = base
+    else:
+        seek = profile.seek.seek_time_s(abs(distance))
+        overhead = (
+            profile.write_overhead_s if is_write else profile.read_overhead_s
+        )
+        base0 = seek + overhead + profile.transfer_time_s(nbytes)
+    host_timeout_s = profile.host_timeout_s
+    # IEEE addition is monotone: base <= timeout implies
+    # fl(now + base) <= fl(now + timeout), so the scalar deadline check
+    # can never fire and the closed form holds with no timeout branch.
+    if not (0.0 < base <= host_timeout_s and 0.0 < base0 <= host_timeout_s):
+        return None
+
+    # Completion times T[k] = start + base0 + (k-1)*base, accumulated
+    # with cumsum to reproduce the scalar += chain bit for bit.
+    clock = drive.clock
+    start = clock.now
+    slots = int(runtime_s / base) + 2
+    while True:
+        if slots > _MAX_CLOSED_FORM_OPS:
+            return None
+        steps = _np.empty(slots + 1, dtype=_np.float64)
+        steps[0] = start
+        steps[1] = base0
+        steps[2:] = base
+        times = _np.cumsum(steps)
+        elapsed = times - start
+        if elapsed[-1] >= runtime_s:
+            break
+        slots *= 2
+    completed = int(_np.searchsorted(elapsed, runtime_s, side="left"))
+    if completed > span_blocks:
+        return None  # the sequential cursor would wrap back and re-seek
+
+    # Commit: exactly the state the scalar loop leaves behind.
+    latencies = _np.diff(times[: completed + 1])
+    clock.advance_to(float(times[completed]))
+    controller.commands += completed
+    if cache_missing and (op0_near or completed >= 2):
+        cache[nbytes] = base
+    last_lba = region_start + (completed - 1) * sectors_per_block
+    if sectors_per_block > 1:
+        end_track, _ = profile.geometry.locate(last_lba + sectors_per_block - 1)
+    else:
+        end_track, _ = profile.geometry.locate(last_lba)
+    controller.current_track = end_track
+    stats = drive.stats
+    if is_write:
+        stats.writes += completed
+        stats.sectors_written += completed * sectors_per_block
+    else:
+        stats.reads += completed
+        stats.sectors_read += completed * sectors_per_block
+        if sectors_per_block not in drive._zero_blocks:
+            drive._zero_blocks[sectors_per_block] = b"\x00" * (
+                sectors_per_block * SECTOR_SIZE
+            )
+    drive._sync_counters()
+
+    result.completed_ops = completed
+    result.timeout_ops = 0
+    result.error_ops = 0
+    result.bytes_moved = completed * job.block_bytes
+    result.total_latency_s = float(_np.cumsum(latencies)[-1])
+    result.max_latency_s = float(latencies.max())
+    result.busy_time_s = float(elapsed[completed])
+    result.latencies_s.frombytes(latencies.tobytes())
+    return result

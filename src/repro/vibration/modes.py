@@ -54,8 +54,8 @@ class VibrationMode:
         ``r = f / f0``.  Peaks at ~``gain / (2 zeta)`` near resonance and
         rolls off 12 dB/octave above.
         """
-        if frequency_hz <= 0.0:
-            raise UnitError(f"frequency must be positive: {frequency_hz}")
+        if not (0.0 < frequency_hz < math.inf):  # also rejects NaN
+            raise UnitError(f"frequency must be positive and finite: {frequency_hz}")
         r = frequency_hz / self.frequency_hz
         denom = math.sqrt((1.0 - r * r) ** 2 + (2.0 * self.damping_ratio * r) ** 2)
         return self.gain / denom
@@ -101,8 +101,8 @@ class ModalResponse:
         the innermost call of the servo chain, reached once per I/O
         attempt during campaigns.
         """
-        if frequency_hz <= 0.0:
-            raise UnitError(f"frequency must be positive: {frequency_hz}")
+        if not (0.0 < frequency_hz < math.inf):  # also rejects NaN
+            raise UnitError(f"frequency must be positive and finite: {frequency_hz}")
         if len(self._consts) != len(self.modes):  # modes mutated in place
             self._rebuild_constants()
         cache = self._response_cache

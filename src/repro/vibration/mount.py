@@ -9,6 +9,7 @@ resonances, which is one reason the paper varies the scenarios.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,8 +34,8 @@ class Mount:
 
     def transmissibility(self, frequency_hz: float) -> float:
         """Drive-chassis displacement per unit frame displacement."""
-        if frequency_hz <= 0.0:
-            raise UnitError(f"frequency must be positive: {frequency_hz}")
+        if not (0.0 < frequency_hz < math.inf):  # also rejects NaN
+            raise UnitError(f"frequency must be positive and finite: {frequency_hz}")
         if self.modes is None:
             return self.base_gain
         return self.base_gain * self.modes.response(frequency_hz)

@@ -155,8 +155,8 @@ class PanelWall:
         attack band at high frequency, sooner for the heavier aluminum
         wall than for plastic.
         """
-        if frequency_hz <= 0.0:
-            raise UnitError(f"frequency must be positive: {frequency_hz}")
+        if not (0.0 < frequency_hz < math.inf):  # also rejects NaN
+            raise UnitError(f"frequency must be positive and finite: {frequency_hz}")
         omega = 2.0 * math.pi * frequency_hz
         omega0 = 2.0 * math.pi * self.fundamental_frequency_hz
         zeta = self.damping_ratio(frequency_hz)

@@ -16,6 +16,7 @@ from array import array
 from dataclasses import dataclass, field
 from typing import List, MutableSequence, Optional
 
+from repro import perf, vecphys
 from repro.analysis.stats import percentile
 from repro.errors import ConfigurationError, DriveTimeout, MediumError
 from repro.hdd.drive import HardDiskDrive
@@ -161,6 +162,7 @@ class FioTester:
         self.drive = drive
         self.rng = rng if rng is not None else make_rng().fork("fio")
         self._obs = obs.get()
+        self._vec = perf.vec_physics_enabled() and vecphys.available()
 
     def _next_lba(self, job: FioJob, cursor: int) -> int:
         region_end = min(
@@ -193,6 +195,13 @@ class FioTester:
         span_blocks = (region_end - region_start) // sectors_per_block
         if span_blocks <= 0:
             raise ConfigurationError("target region smaller than one block")
+        if self._vec and not job.mode.is_random:
+            # Healthy-regime sequential runs collapse to a closed-form
+            # arithmetic series; degraded/stalled points return None
+            # here and take the scalar issue loop below.
+            vec_result = vecphys.run_sequential_static(self, job, result)
+            if vec_result is not None:
+                return vec_result
         is_random = job.mode.is_random
         is_write = job.mode.is_write
         runtime_s = job.runtime_s

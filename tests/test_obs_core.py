@@ -181,7 +181,31 @@ class TestMetrics:
         assert hist.count == 5
         assert hist.sum == pytest.approx(56.05)
         assert hist.percentile(50.0) == 1.0
-        assert hist.percentile(100.0) == 10.0
+        # The p100 rank lands in the implicit overflow bucket (the 50.0
+        # observation): the histogram cannot bound it, so it must report
+        # +Inf rather than under-state the tail as the last finite edge.
+        assert hist.percentile(100.0) == math.inf
+
+    def test_percentile_edges(self):
+        hist = obs.Histogram(bounds=[0.1, 1.0])
+        assert hist.percentile(50.0) == 0.0  # empty histogram
+        hist.observe(0.05)
+        assert hist.percentile(0.0) == 0.1  # rank 0 -> first non-empty bucket
+        assert hist.percentile(100.0) == 0.1
+        hist.observe(99.0)
+        assert hist.percentile(50.0) == 0.1
+        assert hist.percentile(100.0) == math.inf
+        with pytest.raises(ConfigurationError):
+            hist.percentile(-0.1)
+        with pytest.raises(ConfigurationError):
+            hist.percentile(100.1)
+
+    def test_percentile_overflow_only_is_inf(self):
+        hist = obs.Histogram(bounds=[1.0])
+        hist.observe(5.0)
+        assert hist.counts == [0, 1]
+        assert hist.percentile(50.0) == math.inf
+        assert hist.percentile(99.9) == math.inf
 
     def test_histogram_bounds_must_be_sorted(self):
         with pytest.raises(ConfigurationError):
@@ -208,6 +232,18 @@ class TestMetrics:
         merged = a.histogram("lat", bounds=[1.0])
         assert merged.count == 2
         assert merged.sum == pytest.approx(1.5)
+
+    def test_merge_rejects_same_length_different_bounds(self):
+        # Same bucket *count*, different *edges*: elementwise addition
+        # would silently mis-bucket, so the merge must refuse.
+        sink = obs.MetricsRegistry()
+        sink.histogram("lat", bounds=[1.0, 2.0]).observe(0.5)
+        source = obs.MetricsRegistry()
+        source.histogram("lat", bounds=[1.0, 3.0]).observe(0.5)
+        with pytest.raises(ConfigurationError, match="cannot merge"):
+            sink.merge(source.snapshot())
+        # and the sink is untouched
+        assert sink.histogram("lat", bounds=[1.0, 2.0]).count == 1
 
     def test_merge_into_empty_registry_equals_source(self):
         source = obs.MetricsRegistry()

@@ -1,0 +1,401 @@
+"""Scalar <-> vectorized parity for the batched physics kernels (PR 6).
+
+The contract under test is *exact* equality, never approximate: every
+``repro.vecphys`` kernel must reproduce the scalar chain float for
+float over randomized grids, all shipped drive profiles, and all three
+paper scenarios; the closed-form FIO evaluator must leave the rig —
+clock, stats, caches, head position, RNG stream — in the identical
+state the scalar issue loop produces; and the Figure 2 CSVs must be
+byte-identical with the flag on and off.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import perf, vecphys
+from repro.acoustics.medium import WaterConditions
+from repro.acoustics.propagation import PropagationModel
+from repro.core.attacker import AttackConfig
+from repro.core.coupling import AttackCoupling
+from repro.core.scenario import Scenario
+from repro.errors import UnitError
+from repro.experiments.paper_data import ATTACK_LEVEL_DB
+from repro.hdd.drive import HardDiskDrive
+from repro.hdd.profiles import (
+    BARRACUDA_500GB,
+    make_barracuda_profile,
+    make_enterprise_profile,
+    make_laptop_profile,
+    make_ssd_like_profile,
+)
+from repro.hdd.servo import OpKind, VibrationInput
+from repro.rng import make_rng
+from repro.sim.clock import VirtualClock
+from repro.workloads.fio import FioJob, FioTester, IOMode
+
+pytestmark = pytest.mark.skipif(
+    not vecphys.available(), reason="numpy not installed"
+)
+
+_settings = settings(
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+    derandomize=True,
+)
+
+#: Frequencies inside the attacker rig's reachable band (the paper grid).
+band_grids = st.lists(
+    st.floats(min_value=100.0, max_value=8000.0), min_size=1, max_size=40
+)
+#: Wider grids for the drive-side kernels (no attacker in the loop).
+wide_grids = st.lists(
+    st.floats(min_value=1.0, max_value=50_000.0), min_size=1, max_size=40
+)
+displacement_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e-5), min_size=1, max_size=40
+)
+
+ALL_PROFILES = (
+    make_laptop_profile(),
+    make_barracuda_profile(),
+    make_enterprise_profile(),
+    make_ssd_like_profile(),
+)
+
+
+@contextmanager
+def _vec(enabled: bool):
+    previous = perf.set_vec_physics_enabled(enabled)
+    try:
+        yield
+    finally:
+        perf.set_vec_physics_enabled(previous)
+
+
+class TestKernelParity:
+    """Stage-by-stage exact parity against the scalar chain."""
+
+    @given(wide_grids)
+    @_settings
+    def test_servo_chain_kernels(self, freqs):
+        for profile in ALL_PROFILES:
+            servo = profile.servo
+            hsa = vecphys.modal_response(servo.hsa, freqs)
+            rej = vecphys.servo_rejection(servo, freqs)
+            for i, f in enumerate(freqs):
+                assert hsa[i] == servo.hsa.response(f)
+                assert rej[i] == servo.rejection(f)
+
+    @given(wide_grids, displacement_lists)
+    @_settings
+    def test_offtrack_and_success_probability(self, freqs, disps):
+        n = min(len(freqs), len(disps))
+        freqs, disps = freqs[:n], disps[:n]
+        for profile in ALL_PROFILES:
+            servo = profile.servo
+            amp = vecphys.servo_offtrack_amplitude(servo, freqs, disps)
+            p_write = vecphys.servo_success_probability(
+                servo, OpKind.WRITE, freqs, disps
+            )
+            p_read = vecphys.servo_success_probability(
+                servo, OpKind.READ, freqs, disps
+            )
+            for i, (f, d) in enumerate(zip(freqs, disps)):
+                vib = VibrationInput(frequency_hz=f, displacement_m=d)
+                assert amp[i] == servo.offtrack_amplitude_m(vib)
+                assert p_write[i] == servo.success_probability(OpKind.WRITE, vib)
+                assert p_read[i] == servo.success_probability(OpKind.READ, vib)
+
+    @given(wide_grids)
+    @_settings
+    def test_enclosure_and_mount_kernels(self, freqs):
+        for scenario in Scenario.all_three():
+            frame = vecphys.frame_displacement_per_pascal(
+                scenario.enclosure, freqs
+            )
+            wall = vecphys.panel_displacement_per_pascal(
+                scenario.enclosure.wall, freqs
+            )
+            mount = vecphys.mount_transmissibility(scenario.mount, freqs)
+            for i, f in enumerate(freqs):
+                assert frame[i] == scenario.enclosure.frame_displacement_per_pascal(f)
+                assert wall[i] == scenario.enclosure.wall.displacement_per_pascal(f)
+                assert mount[i] == scenario.mount.transmissibility(f)
+
+    @given(wide_grids)
+    @_settings
+    def test_absorption_and_transmission_loss(self, freqs):
+        conditions = (
+            WaterConditions.tank(),  # fresh-water branch
+            WaterConditions.natick_site(),
+            WaterConditions.baltic_50m(),
+        )
+        for cond in conditions:
+            model = PropagationModel(conditions=cond)
+            alphas = vecphys.absorption_db_per_km(cond, freqs)
+            losses = vecphys.transmission_loss_db(model, 3.5, freqs)
+            for i, f in enumerate(freqs):
+                assert alphas[i] == model.absorption_db_per_km(f)
+                assert losses[i] == model.transmission_loss_db(3.5, f)
+
+    @given(band_grids)
+    @_settings
+    def test_sweep_surface_all_scenarios(self, freqs):
+        base = AttackConfig(
+            frequency_hz=650.0, source_level_db=ATTACK_LEVEL_DB, distance_m=0.01
+        )
+        for scenario in Scenario.all_three():
+            coupling = AttackCoupling.paper_setup(scenario)
+            servo = BARRACUDA_500GB.servo
+            surface = vecphys.sweep_surface(coupling, base, freqs, servo=servo)
+            for i, f in enumerate(freqs):
+                config = base.at_frequency(f)
+                pressure = coupling.wall_pressure_pa(config)
+                displacement = scenario.chassis_displacement_m(pressure, f)
+                vib = VibrationInput(frequency_hz=f, displacement_m=displacement)
+                assert surface["wall_pressure_pa"][i] == pressure
+                assert surface["displacement_m"][i] == displacement
+                assert surface["offtrack_m"][i] == servo.offtrack_amplitude_m(vib)
+                assert surface["p_write"][i] == servo.success_probability(
+                    OpKind.WRITE, vib
+                )
+                assert surface["p_read"][i] == servo.success_probability(
+                    OpKind.READ, vib
+                )
+                assert bool(surface["stalled"][i]) == (
+                    servo.offtrack_amplitude_m(vib) >= servo.servo_limit_m
+                )
+
+    def test_guards_match_scalar_chain(self):
+        servo = BARRACUDA_500GB.servo
+        for bad in (0.0, -1.0, math.nan, math.inf):
+            with pytest.raises(UnitError):
+                vecphys.servo_rejection(servo, [650.0, bad])
+            with pytest.raises(UnitError):
+                vecphys.modal_response(servo.hsa, [bad])
+        with pytest.raises(UnitError):
+            vecphys.servo_offtrack_amplitude(servo, [650.0], [-1e-9])
+        with pytest.raises(UnitError):
+            vecphys.servo_offtrack_amplitude(servo, [650.0], [math.nan])
+
+
+class TestScalarEdgeFixes:
+    """The numeric edges the parity sweep exposed (satellite audit)."""
+
+    def test_nan_frequency_rejected_everywhere(self):
+        from repro.acoustics.absorption import absorption_for_conditions
+
+        servo = BARRACUDA_500GB.servo
+        scenario = Scenario.scenario_2()
+        for f in (math.nan, math.inf):
+            with pytest.raises(UnitError):
+                servo.rejection(f)
+            with pytest.raises(UnitError):
+                servo.hsa.response(f)
+            with pytest.raises(UnitError):
+                scenario.mount.transmissibility(f)
+            with pytest.raises(UnitError):
+                scenario.enclosure.wall.displacement_per_pascal(f)
+            with pytest.raises(UnitError):
+                absorption_for_conditions(f, WaterConditions.tank())
+            with pytest.raises(UnitError):
+                VibrationInput(frequency_hz=f, displacement_m=0.0)
+
+    def test_nan_displacement_rejected_inf_is_a_stall(self):
+        with pytest.raises(UnitError):
+            VibrationInput(frequency_hz=650.0, displacement_m=math.nan)
+        stall = VibrationInput(frequency_hz=650.0, displacement_m=math.inf)
+        servo = BARRACUDA_500GB.servo
+        assert servo.success_probability(OpKind.WRITE, stall) == 0.0
+
+    def test_spl_edges(self):
+        from repro.acoustics.spl import pressure_to_spl, spl_sum
+        from repro.units import P_REF_WATER
+
+        assert pressure_to_spl(P_REF_WATER) == 0.0  # exactly at reference
+        with pytest.raises(UnitError):
+            pressure_to_spl(math.nan)
+        assert spl_sum([-math.inf]) == -math.inf  # no log10(0) crash
+
+    def test_spreading_rejects_nan_distance(self):
+        from repro.acoustics.propagation import spherical_spreading_db
+
+        with pytest.raises(UnitError):
+            spherical_spreading_db(math.nan)
+        with pytest.raises(UnitError):
+            spherical_spreading_db(1.0, reference_m=math.nan)
+
+    def test_modal_response_finite_at_exact_resonance(self):
+        from repro.vibration.modes import ModalResponse
+
+        hsa = ModalResponse.head_stack_assembly()
+        for mode in hsa.modes:
+            value = hsa.response(mode.frequency_hz)
+            assert math.isfinite(value) and value > 0.0
+
+
+def _rig(seed: int = 7):
+    clock = VirtualClock()
+    drive = HardDiskDrive(
+        profile=BARRACUDA_500GB,
+        clock=clock,
+        rng=make_rng(seed).fork("drive"),
+        store_data=False,
+    )
+    return drive, FioTester(drive, rng=make_rng(seed).fork("fio"))
+
+
+def _rig_state(drive):
+    controller = drive.controller
+    return (
+        drive.clock.now,
+        dict(vars(drive.stats)),
+        controller.commands,
+        controller.current_track,
+        dict(controller._service_write),
+        dict(controller._service_read),
+        sorted(drive._zero_blocks),
+    )
+
+
+def _result_state(result):
+    return (
+        result.completed_ops,
+        result.timeout_ops,
+        result.error_ops,
+        result.bytes_moved,
+        result.total_latency_s,
+        result.max_latency_s,
+        result.busy_time_s,
+        bytes(result.latencies_s),
+    )
+
+
+class TestClosedFormFio:
+    """The closed-form evaluator must be rig-state identical to the
+    scalar issue loop — and must only engage where it is exact."""
+
+    def _compare(self, vibration=None, modes=(IOMode.SEQ_WRITE, IOMode.SEQ_READ)):
+        states = []
+        for enabled in (True, False):
+            with _vec(enabled):
+                drive, tester = _rig()
+            if vibration is not None:
+                drive.set_vibration(vibration)
+            run_states = []
+            for mode in modes:
+                job = FioJob(mode=mode, runtime_s=0.35, name="parity")
+                result = tester.run(job)
+                run_states.append((_result_state(result), _rig_state(drive)))
+            states.append(run_states)
+        assert states[0] == states[1]
+        return states[0]
+
+    def test_quiescent_back_to_back_runs_match_scalar(self):
+        runs = self._compare()
+        assert all(state[0][0] > 0 for state in runs)  # ops completed
+
+    def test_degraded_point_falls_back_and_matches(self):
+        degraded = VibrationInput(frequency_hz=650.0, displacement_m=3.4e-8)
+        with _vec(True):
+            drive, tester = _rig()
+        drive.set_vibration(degraded)
+        job = FioJob(mode=IOMode.SEQ_WRITE, runtime_s=0.2, name="degraded")
+        assert vecphys.run_sequential_static(tester, job, None) is None
+        self._compare(vibration=degraded)
+
+    def test_stalled_point_falls_back_and_matches(self):
+        stall = VibrationInput(frequency_hz=650.0, displacement_m=1e-6)
+        self._compare(vibration=stall)
+
+    def test_random_mode_matches_with_identical_draws(self):
+        self._compare(modes=(IOMode.RAND_WRITE, IOMode.RAND_READ))
+
+    def test_closed_form_makes_zero_rng_draws(self):
+        from unittest import mock
+
+        from repro.rng import ReproRandom
+
+        draws = {"n": 0}
+        original = ReproRandom.chance
+
+        def counting(self, p):
+            draws["n"] += 1
+            return original(self, p)
+
+        with _vec(True):
+            drive, tester = _rig()
+        with mock.patch.object(ReproRandom, "chance", counting):
+            result = tester.run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=0.3))
+        assert result.completed_ops > 0
+        assert draws["n"] == 0  # matches the scalar p>=1 short-circuit
+
+    def test_telemetry_session_disables_closed_form(self):
+        from repro import obs
+
+        with _vec(True):
+            with obs.session():
+                drive, tester = _rig()
+                job = FioJob(mode=IOMode.SEQ_WRITE, runtime_s=0.1)
+                assert vecphys.run_sequential_static(tester, job, None) is None
+
+    def test_numpy_absence_degrades_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(vecphys, "_np", None)
+        assert not vecphys.available()
+        with _vec(True):
+            drive, tester = _rig()
+        assert not tester._vec
+        result = tester.run(FioJob(mode=IOMode.SEQ_WRITE, runtime_s=0.1))
+        assert result.completed_ops > 0
+
+
+class TestExperimentParity:
+    """Whole-experiment byte identity with the flag on vs off."""
+
+    FREQS = [300.0, 650.0, 1000.0, 2500.0]
+
+    def test_figure2_csvs_byte_identical(self):
+        from repro.experiments.figure2 import run_figure2
+
+        outputs = []
+        for enabled in (True, False):
+            with _vec(enabled):
+                figure = run_figure2(
+                    frequencies_hz=self.FREQS, fio_runtime_s=0.25, seed=7
+                )
+            outputs.append(figure.to_csv("write") + figure.to_csv("read"))
+        assert outputs[0] == outputs[1]
+
+    def test_ablation_rows_identical(self):
+        from repro.experiments.ablations import (
+            run_drive_type_ablation,
+            run_material_ablation,
+        )
+
+        tables = []
+        for enabled in (True, False):
+            with _vec(enabled):
+                tables.append(
+                    (
+                        run_material_ablation().render(),
+                        run_drive_type_ablation().render(),
+                    )
+                )
+        assert tables[0] == tables[1]
+
+    def test_batched_pool_map_matches_inline(self):
+        from repro.runtime import SweepRunner
+
+        from tests.test_runtime import _square
+
+        with _vec(True):
+            pooled = SweepRunner(workers=2).map(_square, list(range(9)))
+        inline = [_square(n) for n in range(9)]
+        assert pooled == inline

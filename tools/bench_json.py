@@ -1,29 +1,39 @@
-"""Machine-readable performance trajectory: writes BENCH_PR3.json.
+"""Machine-readable performance trajectory: writes BENCH_PR6.json.
 
-Times the hot-path I/O engine against two baselines:
+Times the hot-path I/O engine against three baselines:
 
-* the *gated* baseline — the same tree with the ``REPRO_SERVO_CACHE``
-  and ``REPRO_IO_FAST_PATH`` flags off (``repro.perf.perf_baseline``),
-  which isolates the memoized servo chain and the static fast path; and
+* the *gated* baseline — the same tree with the ``REPRO_SERVO_CACHE``,
+  ``REPRO_IO_FAST_PATH`` and ``REPRO_VEC_PHYSICS`` flags off
+  (``repro.perf.perf_baseline``), which isolates all gated engines; and
 * the *recorded seed* reference — the pre-optimization commit, measured
   once with the same protocol and recorded below, which also credits
   the ungated structural wins (hoisted FIO loop, bisected zone lookup,
-  shared per-family geometry, page-granular sector store).
+  shared per-family geometry, page-granular sector store); and
+* the *recorded PR3* reference — the BENCH_PR3.json recording of the
+  scalar hot-path engine, which the vectorized physics kernel must
+  beat by ``VEC_SPEEDUP_TARGET`` on the full protocol.
 
 The cold Figure 2 sweep is the headline number; the sweep CSVs are
-hashed so every run re-proves bit-identity against both baselines.
+hashed so every run re-proves bit-identity against every baseline.
 
-The ``telemetry`` section is this PR's gate: with no telemetry bundle
-installed the sweep must stay bit-identical to the BENCH_PR2 recording
-and within its wall-time envelope, and a fully traced sweep must still
-produce the identical CSV (tracing observes, never perturbs).
+The ``telemetry`` section carries the PR4 gate: with no telemetry
+bundle installed the sweep must stay bit-identical to the BENCH_PR2
+recording and within its wall-time envelope, and a fully traced sweep
+must still produce the identical CSV (tracing observes, never
+perturbs).
+
+The ``vecphys`` section is this PR's gate: the sweep with the
+vectorized kernel (the default) against the same sweep with only the
+vectorized kernel disabled (servo cache and fast path stay on — the
+PR3 configuration re-measured on this host), bit-identical CSVs, and
+a >= 3x speedup over the recorded BENCH_PR3 wall in full mode.
 
 Usage:
-    python tools/bench_json.py [--quick] [--out BENCH_PR3.json]
+    python tools/bench_json.py [--quick] [--out BENCH_PR6.json]
 
 ``--quick`` shrinks the sweep and repeat counts for CI smoke runs; the
-recorded-reference comparisons (seed and PR2) only apply to the full
-protocol, so quick output omits them.
+recorded-reference comparisons (seed, PR2 and PR3) only apply to the
+full protocol, so quick output omits them.
 """
 
 from __future__ import annotations
@@ -76,17 +86,41 @@ PR2_REFERENCE = {
 PR2_OVERHEAD_BUDGET = 0.02
 
 
-def _load_pr2_reference() -> dict:
-    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+#: The PR3 recording the vectorized physics kernel is gated against:
+#: same host, same full-mode protocol, scalar hot-path engine (servo
+#: cache + static fast path, no vectorization).  Fallback when
+#: BENCH_PR3.json is not sitting next to the repo root (the checked-in
+#: copy normally is, and takes precedence).
+PR3_REFERENCE = {
+    "commit": "e3e57ab",
+    "wall_s": 0.0616,
+    "csv_sha256": "f3c748ef335267d39601ba1114796e7ca581ab446dd71c04878f26ca1f418913",
+}
+
+#: Minimum full-protocol speedup of the vectorized sweep over the
+#: recorded PR3 wall (acceptance gate: >= 3x).
+VEC_SPEEDUP_TARGET = 3.0
+
+
+def _load_recorded_reference(filename: str, fallback: dict) -> dict:
+    path = pathlib.Path(__file__).resolve().parent.parent / filename
     try:
         sweep = json.loads(path.read_text())["sweep"]
         return {
-            "commit": PR2_REFERENCE["commit"],
+            "commit": fallback["commit"],
             "wall_s": sweep["optimized_wall_s"],
             "csv_sha256": sweep["optimized_csv_sha256"],
         }
     except (OSError, ValueError, KeyError):
-        return dict(PR2_REFERENCE)
+        return dict(fallback)
+
+
+def _load_pr2_reference() -> dict:
+    return _load_recorded_reference("BENCH_PR2.json", PR2_REFERENCE)
+
+
+def _load_pr3_reference() -> dict:
+    return _load_recorded_reference("BENCH_PR3.json", PR3_REFERENCE)
 
 FULL_GRID = [float(f) for f in range(100, 2100, 100)]
 FULL_RUNTIME_S = 0.4
@@ -214,6 +248,49 @@ def bench_telemetry(quick: bool, sweep_section: dict) -> dict:
     return section
 
 
+def bench_vecphys(quick: bool, sweep_section: dict) -> dict:
+    """Vectorized sweep against the scalar hot path and the PR3 recording.
+
+    The vectorized wall is the ``sweep`` section's measurement (the
+    ``REPRO_VEC_PHYSICS`` flag defaults on, so the optimized run there
+    used the batched pool payloads and the closed-form FIO evaluator).
+    The scalar-path run disables only the vectorized kernel — servo
+    cache and static fast path stay on — which reproduces the PR3
+    configuration on this host for an apples-to-apples speedup.
+    """
+    grid = QUICK_GRID if quick else FULL_GRID
+    runtime_s = QUICK_RUNTIME_S if quick else FULL_RUNTIME_S
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+
+    previous = perf.set_vec_physics_enabled(False)
+    try:
+        scalar_wall, scalar_sha = _time_sweep(grid, runtime_s, repeats)
+    finally:
+        perf.set_vec_physics_enabled(previous)
+
+    vec_wall = sweep_section["optimized_wall_s"]
+    vec_sha = sweep_section["optimized_csv_sha256"]
+    section = {
+        "vectorized_wall_s": vec_wall,
+        "scalar_path_wall_s": round(scalar_wall, 4),
+        "speedup_vs_scalar_path": round(scalar_wall / vec_wall, 2),
+        "vectorized_csv_sha256": vec_sha,
+        "scalar_path_csv_sha256": scalar_sha,
+        "bit_identical_to_scalar_path": vec_sha == scalar_sha,
+    }
+    if not quick:
+        reference = _load_pr3_reference()
+        section["pr3_reference"] = dict(
+            reference,
+            bit_identical_to_pr3=vec_sha == reference["csv_sha256"],
+            speedup_vs_pr3=round(reference["wall_s"] / vec_wall, 2),
+            speedup_target=VEC_SPEEDUP_TARGET,
+            meets_speedup_target=reference["wall_s"] / vec_wall
+            >= VEC_SPEEDUP_TARGET,
+        )
+    return section
+
+
 def _drive_write_rate(ops: int) -> float:
     drive = HardDiskDrive(clock=VirtualClock(), rng=make_rng(1), store_data=False)
     t0 = time.perf_counter()
@@ -290,18 +367,19 @@ def bench_micro(quick: bool) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke sizing")
-    parser.add_argument("--out", default="BENCH_PR3.json", help="output path")
+    parser.add_argument("--out", default="BENCH_PR6.json", help="output path")
     args = parser.parse_args(argv)
 
     sweep = bench_sweep(args.quick)
     report = {
-        "schema": "repro-bench/3",
+        "schema": "repro-bench/4",
         "generated_by": "tools/bench_json.py" + (" --quick" if args.quick else ""),
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "sweep": sweep,
         "telemetry": bench_telemetry(args.quick, sweep),
+        "vecphys": bench_vecphys(args.quick, sweep),
         "micro": bench_micro(args.quick),
     }
 
@@ -320,6 +398,21 @@ def main(argv=None) -> int:
     if pr2 is not None and not pr2["bit_identical_to_pr2"]:
         print("FAIL: telemetry-off sweep diverged from the PR2 recording", file=sys.stderr)
         return 1
+    if not report["vecphys"]["bit_identical_to_scalar_path"]:
+        print("FAIL: vectorized sweep diverged from the scalar hot path", file=sys.stderr)
+        return 1
+    pr3 = report["vecphys"].get("pr3_reference")
+    if pr3 is not None:
+        if not pr3["bit_identical_to_pr3"]:
+            print("FAIL: vectorized sweep diverged from the PR3 recording", file=sys.stderr)
+            return 1
+        if not pr3["meets_speedup_target"]:
+            print(
+                f"FAIL: vectorized sweep speedup {pr3['speedup_vs_pr3']}x "
+                f"is below the {VEC_SPEEDUP_TARGET}x target vs PR3",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
