@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help test smoke lint bench bench-json trace-smoke doctest docs docs-check
+.PHONY: help test smoke lint bench bench-json bench-fleet trace-smoke doctest docs docs-check
 
 help:       ## list targets with their one-line descriptions
 	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -27,8 +27,11 @@ docs-check: ## CI gate: fail if docs/CLI.md is stale
 bench:      ## paper-scale benchmarks (writes results/*.txt)
 	$(PYTHON) -m pytest -q benchmarks
 
-bench-json: ## machine-readable perf trajectory (writes BENCH_PR6.json)
-	$(PYTHON) tools/bench_json.py --out BENCH_PR6.json
+bench-json: ## machine-readable perf trajectory (writes BENCH_PR7.json)
+	$(PYTHON) tools/bench_json.py --out BENCH_PR7.json
+
+bench-fleet: ## batched rack sweep vs scalar loop only (writes BENCH_FLEET.json)
+	$(PYTHON) tools/bench_json.py --quick --only fleet --out BENCH_FLEET.json
 
 trace-smoke: ## tiny traced sweep + trace schema validation
 	$(PYTHON) -m repro.cli figure2 --runtime 0.2 --seed 7 \

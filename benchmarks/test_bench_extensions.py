@@ -36,18 +36,16 @@ def test_raid_common_mode_ablation(benchmark, results_dir):
         outcomes = {}
         # Case A: one independent mechanical failure.
         rack = DriveRack(bays=3)
-        members = [BlockDevice(d, name=f"sd{i}") for i, d in enumerate(rack.drives)]
-        array = RaidArray(RaidLevel.RAID5, members)
+        array = RaidArray.from_rack(rack, RaidLevel.RAID5)
         for i in range(6):
             array.write_block(i, bytes([i]) * BLOCK_4K)
-        _stall_one(members[0])
+        _stall_one(array.members[0].device)
         survived = all(array.read_block(i) == bytes([i]) * BLOCK_4K for i in range(6))
         outcomes["independent_failure_survived"] = survived and array.online
 
         # Case B: the acoustic attack (common mode).
         rack = DriveRack(bays=3)
-        members = [BlockDevice(d, name=f"sd{i}") for i, d in enumerate(rack.drives)]
-        array = RaidArray(RaidLevel.RAID5, members)
+        array = RaidArray.from_rack(rack, RaidLevel.RAID5)
         for i in range(6):
             array.write_block(i, bytes([i]) * BLOCK_4K)
         rack.apply_attack(AttackConfig.paper_best())

@@ -6,18 +6,24 @@ server with an Ext4 root filesystem and a RocksDB-like database serving
 a key-value workload, all inside a submerged container.  The attacker
 sweeps for a vulnerable frequency, then holds the best tone until the
 whole software stack crashes — filesystem, OS, and database — exactly
-the cascade of Table 3.
+the cascade of Table 3.  A rack-level prologue shows the same tone
+degrading every bay of a storage tower at once (the common-mode
+property), evaluated through the batched fleet kernels.
 
 Run:  python examples/datacenter_attack.py
 """
 
+from repro import perf, vecphys
 from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
+from repro.core.fleet import DriveRack
 from repro.core.monitor import AvailabilityMonitor
 from repro.core.scenario import Scenario
 from repro.experiments.apps import Ext4Victim, RocksDBVictim, UbuntuVictim
 from repro.hdd.profiles import BARRACUDA_500GB
 from repro.hdd.servo import OpKind
+
+SWEEP_GRID = [float(f) for f in range(100, 4001, 50)]
 
 
 def find_vulnerable_tone(coupling: AttackCoupling) -> float:
@@ -25,23 +31,51 @@ def find_vulnerable_tone(coupling: AttackCoupling) -> float:
 
     The attacker predicts (or remotely observes) which tones disturb
     the target; here we use the physical model directly, as an attacker
-    studying an identical drive would.
+    studying an identical drive would.  With numpy present the whole
+    grid evaluates in one :func:`repro.vecphys.sweep_surface` call
+    (bit-identical to the scalar loop below).
     """
     servo = BARRACUDA_500GB.servo
+    base = AttackConfig(frequency_hz=650.0, source_level_db=140.0, distance_m=0.01)
+    threshold = servo.threshold_m(OpKind.WRITE)
+    if perf.vec_physics_enabled() and vecphys.available():
+        surface = vecphys.sweep_surface(coupling, base, SWEEP_GRID, servo=servo)
+        ratios = [offtrack / threshold for offtrack in surface["offtrack_m"].tolist()]
+    else:
+        ratios = []
+        for freq in SWEEP_GRID:
+            vibration = coupling.vibration_at_drive(base.at_frequency(freq))
+            ratios.append(servo.offtrack_amplitude_m(vibration) / threshold)
     best_freq, best_ratio = 0.0, 0.0
-    for freq in range(100, 4001, 50):
-        config = AttackConfig(frequency_hz=float(freq), source_level_db=140.0, distance_m=0.01)
-        vibration = coupling.vibration_at_drive(config)
-        ratio = servo.offtrack_amplitude_m(vibration) / servo.threshold_m(OpKind.WRITE)
+    for freq, ratio in zip(SWEEP_GRID, ratios):
         if ratio > best_ratio:
-            best_freq, best_ratio = float(freq), ratio
+            best_freq, best_ratio = freq, ratio
     print(f"sweep: best tone {best_freq:.0f} Hz (predicted off-track ratio {best_ratio:.1f}x)")
     return best_freq
+
+
+def rack_view(tone: float) -> None:
+    """Step 0 — why this matters at datacenter scale.
+
+    One speaker, one wall, five bays: the shared source/water/wall
+    stage is computed once per rack call and broadcast across bays, so
+    scanning a whole tower costs barely more than scanning one drive.
+    """
+    rack = DriveRack(bays=5)
+    config = AttackConfig(frequency_hz=tone, source_level_db=140.0, distance_m=0.01)
+    rack.apply_attack(config)
+    probabilities = rack.write_success_probabilities()
+    summary = ", ".join(
+        f"bay{bay}={p:.3f}" for bay, p in sorted(probabilities.items())
+    )
+    print(f"rack view at {tone:.0f} Hz: p(write) {summary}")
+    print(f"  stalled: {rack.stalled_bays()}  healthy: {rack.healthy_bays()}")
 
 
 def main() -> None:
     coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
     tone = find_vulnerable_tone(coupling)
+    rack_view(tone)
 
     print("\nstep 2 — hold the tone and watch the stack die:")
     victims = [Ext4Victim(), UbuntuVictim(), RocksDBVictim()]

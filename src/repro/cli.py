@@ -172,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
     rack.add_argument("--frequency", type=float, default=650.0)
     rack.add_argument("--distance", type=float, default=0.01)
     rack.add_argument("--metal", action="store_true", help="aluminum container")
+    rack.add_argument(
+        "--sweep",
+        nargs=3,
+        type=float,
+        metavar=("START", "STOP", "STEP"),
+        default=None,
+        help="also sweep the band once per rack (batched fleet surface) "
+        "and report each bay's stalled range",
+    )
 
     smart = sub.add_parser("smart", help="SMART forensics of an attacked drive")
     smart.add_argument("--frequency", type=float, default=650.0)
@@ -366,11 +375,31 @@ def _cmd_rack(args: argparse.Namespace) -> int:
     print(f"{'bay':>4} {'chassis nm':>11} {'p(write)':>9}  state")
     for bay in sorted(vibrations):
         p = probabilities[bay]
-        state = "STALLED" if p == 0.0 else ("degraded" if p < 0.999 else "healthy")
+        state = "STALLED" if p == 0.0 else ("healthy" if p == 1.0 else "degraded")
         print(
             f"{bay:>4} {vibrations[bay].displacement_m * 1e9:>11.1f} {p:>9.3f}  {state}"
         )
     print(f"stalled bays: {rack.stalled_bays()}  healthy bays: {rack.healthy_bays()}")
+    if args.sweep is not None:
+        start, stop, step = args.sweep
+        if step <= 0.0 or stop < start:
+            print("--sweep needs START <= STOP and STEP > 0", file=sys.stderr)
+            return 2
+        grid = []
+        f = start
+        while f <= stop:
+            grid.append(f)
+            f += step
+        surface = rack.sweep_surface(grid, config)
+        print(f"\nsweep {start:.0f}-{stop:.0f} Hz (step {step:.0f}, {len(grid)} points):")
+        print(f"{'bay':>4} {'stalled pts':>11} {'min p(write)':>13}  stalled band")
+        freqs = surface["frequency_hz"]
+        for row in surface["bays"]:
+            stalled = [f for f, s in zip(freqs, row["stalled"]) if s]
+            band = f"{stalled[0]:.0f}-{stalled[-1]:.0f} Hz" if stalled else "-"
+            print(
+                f"{row['bay']:>4} {len(stalled):>11} {min(row['p_write']):>13.3f}  {band}"
+            )
     return 0
 
 

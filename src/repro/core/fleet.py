@@ -5,13 +5,23 @@ them.  :class:`DriveRack` places several drives in the bays of one
 storage tower inside one enclosure and applies a single acoustic attack
 to all of them through their bay-specific coupling — the common-mode
 property that defeats RAID redundancy (see the RAID ablation bench).
+
+Because every bay sits behind the same wall in the same water, the
+attacker → water → wall stage of the chain is identical rack-wide; only
+the tower mount's bay height and the per-drive servo state differ.  The
+rack therefore evaluates attacks through the batched
+:mod:`repro.vecphys` fleet kernels (one shared-stage computation per
+call, broadcast across bays) whenever ``repro.perf.vec_physics_enabled``
+allows, falling back to the per-bay scalar chain otherwise — with
+bit-identical results either way, enforced by the fleet parity suite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
+from repro import perf, vecphys
 from repro.core.attacker import AttackConfig
 from repro.core.coupling import AttackCoupling
 from repro.core.environment import UnderwaterEnvironment
@@ -19,12 +29,13 @@ from repro.core.scenario import Scenario
 from repro.errors import ConfigurationError
 from repro.hdd.drive import HardDiskDrive
 from repro.hdd.profiles import make_barracuda_profile
-from repro.hdd.servo import OpKind, VibrationInput
+from repro.hdd.servo import OpKind, ServoSystem, VibrationInput
 from repro.rng import ReproRandom, make_rng
+from repro.runtime import transport
 from repro.sim.clock import VirtualClock
 from repro.vibration.mount import StorageTower
 
-__all__ = ["RackSlot", "DriveRack"]
+__all__ = ["RackSlot", "DriveRack", "BaySweepPoint"]
 
 
 @dataclass
@@ -34,6 +45,56 @@ class RackSlot:
     bay: int
     drive: HardDiskDrive
     coupling: AttackCoupling
+
+
+@dataclass(frozen=True)
+class BaySweepPoint:
+    """One (bay, frequency) cell of a rack sweep surface, as a flat row.
+
+    The hot fleet row type: campaign pools move thousands of these per
+    sweep, so it is registered with :mod:`repro.runtime.transport` and
+    travels packed as raw float64/int64 bytes instead of pickled
+    objects.
+    """
+
+    bay: int
+    frequency_hz: float
+    displacement_m: float
+    offtrack_m: float
+    p_write: float
+    p_read: float
+
+    @property
+    def stalled(self) -> bool:
+        """No-response regime: the write servo cannot track at all."""
+        return self.p_write == 0.0
+
+
+def _servo_signature(servo: ServoSystem) -> tuple:
+    """Value identity of everything the success model reads.
+
+    Two servos with equal signatures produce identical probabilities for
+    identical vibrations, so the rack may batch them through one shared
+    servo stage.
+    """
+    return (
+        servo.track_pitch_m,
+        servo.write_threshold_frac,
+        servo.read_threshold_frac,
+        servo.servo_limit_frac,
+        servo.rejection_corner_hz,
+        servo.rejection_order,
+        tuple(
+            (mode.frequency_hz, mode.damping_ratio, mode.gain)
+            for mode in servo.hsa.modes
+        ),
+        servo.head_gain,
+        servo.write_window_s,
+        servo.read_window_s,
+        servo.grazing_penalty,
+        servo.grazing_onset,
+        servo.grazing_exponent,
+    )
 
 
 class DriveRack:
@@ -80,36 +141,216 @@ class DriveRack:
         """The member drives, bottom bay first."""
         return [slot.drive for slot in self.slots]
 
+    @property
+    def couplings(self) -> List[AttackCoupling]:
+        """The per-bay coupling chains, bottom bay first."""
+        return [slot.coupling for slot in self.slots]
+
+    def _shared_servo(self) -> Optional[ServoSystem]:
+        """One servo representing every bay, or None if they diverge."""
+        servos = [slot.drive.profile.servo for slot in self.slots]
+        signature = _servo_signature(servos[0])
+        for servo in servos[1:]:
+            if _servo_signature(servo) != signature:
+                return None
+        return servos[0]
+
     def apply_attack(self, config: Optional[AttackConfig]) -> Dict[int, VibrationInput]:
         """Point one speaker at the enclosure; every bay feels it.
 
         Returns the per-bay vibration for inspection.  ``None`` silences
-        the attack.
+        the attack.  With the vectorized kernels enabled the shared
+        source/water/wall stage is computed once for the whole rack.
         """
-        vibrations: Dict[int, VibrationInput] = {}
-        for slot in self.slots:
-            vibrations[slot.bay] = slot.coupling.apply(slot.drive, config)
-        return vibrations
-
-    def write_success_probabilities(self) -> Dict[int, float]:
-        """Per-bay p(write attempt succeeds) under the current attack."""
+        if config is not None and perf.vec_physics_enabled():
+            try:
+                batched = vecphys.rack_attack(self.couplings, config)
+            except ConfigurationError:
+                batched = None  # heterogeneous rack: per-bay scalar chain
+            if batched is not None:
+                vibrations: Dict[int, VibrationInput] = {}
+                for slot, vibration in zip(self.slots, batched):
+                    slot.drive.set_vibration(vibration)
+                    vibrations[slot.bay] = vibration
+                return vibrations
         return {
-            slot.bay: slot.drive.success_probability(OpKind.WRITE)
+            slot.bay: slot.coupling.apply(slot.drive, config)
             for slot in self.slots
         }
 
+    def _success_probabilities(self, op: OpKind) -> Dict[int, float]:
+        if perf.vec_physics_enabled():
+            servo = self._shared_servo()
+            if servo is not None:
+                out: Dict[int, float] = {}
+                active = [slot for slot in self.slots if not slot.drive.parked]
+                for slot in self.slots:
+                    if slot.drive.parked:
+                        out[slot.bay] = 0.0
+                if active:
+                    probabilities = vecphys.rack_success_probability(
+                        servo, op, [slot.drive.vibration for slot in active]
+                    )
+                    for slot, p in zip(active, probabilities):
+                        out[slot.bay] = p
+                return out
+        return {
+            slot.bay: slot.drive.success_probability(op) for slot in self.slots
+        }
+
+    def write_success_probabilities(self) -> Dict[int, float]:
+        """Per-bay p(write attempt succeeds) under the current attack."""
+        return self._success_probabilities(OpKind.WRITE)
+
+    def read_success_probabilities(self) -> Dict[int, float]:
+        """Per-bay p(read attempt succeeds) under the current attack."""
+        return self._success_probabilities(OpKind.READ)
+
     def stalled_bays(self) -> List[int]:
         """Bays whose servo cannot track at all."""
-        return [
-            slot.bay
+        probabilities = self.write_success_probabilities()
+        return [bay for bay, p in sorted(probabilities.items()) if p == 0.0]
+
+    def healthy_bays(self, threshold: float = 1.0) -> List[int]:
+        """Bays still serving writes at probability >= ``threshold``.
+
+        The default reports only *exactly* healthy bays (success
+        probability 1.0); a measurably degraded bay — even at 0.9995 —
+        is not healthy.  Pass a lower ``threshold`` to tolerate grazing
+        degradation, e.g. ``healthy_bays(threshold=0.999)``.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1]: {threshold}"
+            )
+        probabilities = self.write_success_probabilities()
+        return [bay for bay, p in sorted(probabilities.items()) if p >= threshold]
+
+    # -- batched sweep surfaces --------------------------------------------------
+
+    def sweep_surface(
+        self,
+        frequencies: Sequence[float],
+        config: Optional[AttackConfig] = None,
+    ) -> Dict[str, object]:
+        """Per-bay attack response surface over a frequency grid.
+
+        Pure computation — no drive state is mutated.  Returns a
+        JSON-able dict: 1-D lists ``frequency_hz`` and
+        ``wall_pressure_pa`` plus a ``bays`` list of per-bay rows
+        (``bay``, ``displacement_m``, ``offtrack_m``, ``p_write``,
+        ``p_read``, ``stalled``).  The batched and scalar paths return
+        byte-identical structures (the fleet bench gate serializes
+        both and compares digests).
+        """
+        base = config if config is not None else AttackConfig()
+        freqs = [float(f) for f in frequencies]
+        if perf.vec_physics_enabled() and vecphys.available():
+            servo = self._shared_servo()
+            if servo is not None:
+                try:
+                    surface = vecphys.fleet_surface(
+                        self.couplings, base, freqs, servo=servo
+                    )
+                except ConfigurationError:
+                    pass  # heterogeneous rack: per-bay scalar chain
+                else:
+                    return {
+                        "frequency_hz": surface["frequency_hz"].tolist(),
+                        "wall_pressure_pa": surface["wall_pressure_pa"].tolist(),
+                        "bays": [
+                            {
+                                "bay": slot.bay,
+                                "displacement_m": surface["displacement_m"][i].tolist(),
+                                "offtrack_m": surface["offtrack_m"][i].tolist(),
+                                "p_write": surface["p_write"][i].tolist(),
+                                "p_read": surface["p_read"][i].tolist(),
+                                "stalled": surface["stalled"][i].tolist(),
+                            }
+                            for i, slot in enumerate(self.slots)
+                        ],
+                    }
+        return self._sweep_surface_scalar(base, freqs)
+
+    def _sweep_surface_scalar(
+        self, base: AttackConfig, freqs: List[float]
+    ) -> Dict[str, object]:
+        """Reference per-bay scalar loop (also the fleet bench baseline)."""
+        wall: List[float] = []
+        bays = [
+            {
+                "bay": slot.bay,
+                "displacement_m": [],
+                "offtrack_m": [],
+                "p_write": [],
+                "p_read": [],
+                "stalled": [],
+            }
             for slot in self.slots
-            if slot.drive.success_probability(OpKind.WRITE) == 0.0
+        ]
+        first = self.slots[0].coupling
+        for f in freqs:
+            point = base.at_frequency(f)
+            wall.append(first.wall_pressure_pa(point))
+            for slot, row in zip(self.slots, bays):
+                vibration = slot.coupling.vibration_at_drive(point)
+                servo = slot.drive.profile.servo
+                amplitude = servo.offtrack_amplitude_m(vibration)
+                row["displacement_m"].append(vibration.displacement_m)
+                row["offtrack_m"].append(amplitude)
+                row["p_write"].append(
+                    servo.success_probability(OpKind.WRITE, vibration)
+                )
+                row["p_read"].append(
+                    servo.success_probability(OpKind.READ, vibration)
+                )
+                row["stalled"].append(amplitude >= servo.servo_limit_m)
+        return {"frequency_hz": freqs, "wall_pressure_pa": wall, "bays": bays}
+
+    def sweep_rows(
+        self,
+        frequencies: Sequence[float],
+        config: Optional[AttackConfig] = None,
+    ) -> List[BaySweepPoint]:
+        """The sweep surface flattened to transport-friendly rows.
+
+        Row order is bay-major (all frequencies of bay 0, then bay 1,
+        ...), matching the surface layout.
+        """
+        surface = self.sweep_surface(frequencies, config)
+        freqs = surface["frequency_hz"]
+        return [
+            BaySweepPoint(
+                bay=row["bay"],
+                frequency_hz=f,
+                displacement_m=d,
+                offtrack_m=o,
+                p_write=pw,
+                p_read=pr,
+            )
+            for row in surface["bays"]
+            for f, d, o, pw, pr in zip(
+                freqs,
+                row["displacement_m"],
+                row["offtrack_m"],
+                row["p_write"],
+                row["p_read"],
+            )
         ]
 
-    def healthy_bays(self) -> List[int]:
-        """Bays still serving writes at full probability."""
-        return [
-            slot.bay
-            for slot in self.slots
-            if slot.drive.success_probability(OpKind.WRITE) >= 0.999
-        ]
+
+# The hot fleet row travels packed over the pool (see
+# repro.runtime.transport); registration is keyed by type in both the
+# parent and worker processes, which import this module to build racks.
+transport.register_row_codec(
+    "bay-sweep-point/1",
+    BaySweepPoint,
+    (
+        ("bay", "q"),
+        ("frequency_hz", "d"),
+        ("displacement_m", "d"),
+        ("offtrack_m", "d"),
+        ("p_write", "d"),
+        ("p_read", "d"),
+    ),
+)

@@ -78,6 +78,10 @@ class HardDiskDrive:
         # request size serves every caller).
         self._total_sectors = self.profile.geometry.total_sectors
         self._zero_blocks: dict = {}
+        # Per-op telemetry handles (span name + metric instruments),
+        # built lazily on the first recorded command of each op so the
+        # hot path skips label-key construction and registry lookups.
+        self._tel_handles: dict = {}
 
     # -- capacity -------------------------------------------------------------
 
@@ -263,20 +267,33 @@ class HardDiskDrive:
     ) -> None:
         """Report one finished (or failed) command into the telemetry."""
         end_s = self.clock.now
+        handles = self._tel_handles.get(op_label)
+        if handles is None:
+            # First command of this op: resolve the span label and the
+            # three metric instruments once; later commands reuse them
+            # without rebuilding label keys or probing the registry.
+            metrics = tel.metrics
+            handles = (
+                "drive." + op_label,
+                metrics.counter("drive_ops_total", op=op_label),
+                metrics.counter("drive_sectors_total", op=op_label),
+                metrics.histogram("drive_op_latency_s", op=op_label),
+            )
+            self._tel_handles[op_label] = handles
+        span_name, ops_total, sectors_total, latency = handles
         tel.tracer.record(
-            f"drive.{op_label}",
+            span_name,
             start_s,
             end_s,
             category="drive",
             status="ok" if outcome == "ok" else "error",
             args=None if outcome == "ok" else {"error": outcome},
         )
-        metrics = tel.metrics
-        metrics.counter("drive_ops_total", op=op_label).inc()
-        metrics.counter("drive_sectors_total", op=op_label).inc(sectors)
-        metrics.histogram("drive_op_latency_s", op=op_label).observe(end_s - start_s)
+        ops_total.inc()
+        sectors_total.inc(sectors)
+        latency.observe(end_s - start_s)
         if outcome != "ok":
-            metrics.counter("drive_errors_total", kind=outcome).inc()
+            tel.metrics.counter("drive_errors_total", kind=outcome).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -82,10 +82,36 @@ class Tracer:
             raise ConfigurationError(f"unknown trace detail {detail!r}")
         self.max_records = max_records
         self.detail = detail
-        self.spans: List[SpanRecord] = []
-        self.events: List[EventRecord] = []
+        # Hot-path storage: spans/events are kept as plain slot tuples in
+        # SpanRecord/EventRecord field order — appending a tuple is several
+        # times cheaper than constructing a frozen dataclass per drive
+        # command, which BENCH_PR6 measured as ~12x traced overhead.  The
+        # record views below materialize dataclasses on demand (and cache
+        # them: the buffers are append-only, so a length check suffices).
+        self._spans: List[tuple] = []
+        self._events: List[tuple] = []
+        self._span_view: Optional[List[SpanRecord]] = None
+        self._event_view: Optional[List[EventRecord]] = None
         self.dropped = 0
         self._track_stack: List[str] = []
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """Completed spans as :class:`SpanRecord` objects (read-only view)."""
+        view = self._span_view
+        if view is None or len(view) != len(self._spans):
+            view = [SpanRecord(*row) for row in self._spans]
+            self._span_view = view
+        return view
+
+    @property
+    def events(self) -> List[EventRecord]:
+        """Instant events as :class:`EventRecord` objects (read-only view)."""
+        view = self._event_view
+        if view is None or len(view) != len(self._events):
+            view = [EventRecord(*row) for row in self._events]
+            self._event_view = view
+        return view
 
     # -- tracks --------------------------------------------------------------
 
@@ -106,7 +132,7 @@ class Tracer:
     # -- recording -----------------------------------------------------------
 
     def _full(self) -> bool:
-        if len(self.spans) + len(self.events) >= self.max_records:
+        if len(self._spans) + len(self._events) >= self.max_records:
             self.dropped += 1
             return True
         return False
@@ -122,19 +148,14 @@ class Tracer:
         track: Optional[str] = None,
     ) -> None:
         """Append an already-completed span (the cheap hot-path form)."""
-        if self._full():
+        spans = self._spans
+        if len(spans) + len(self._events) >= self.max_records:
+            self.dropped += 1
             return
-        self.spans.append(
-            SpanRecord(
-                name=name,
-                category=category,
-                start_s=start_s,
-                end_s=end_s,
-                track=track if track is not None else self.current_track,
-                status=status,
-                args=args,
-            )
-        )
+        if track is None:
+            stack = self._track_stack
+            track = stack[-1] if stack else "main"
+        spans.append((name, category, start_s, end_s, track, status, args))
 
     @contextmanager
     def span(
@@ -169,15 +190,10 @@ class Tracer:
         """Append an instant event at virtual time ``ts_s``."""
         if self._full():
             return
-        self.events.append(
-            EventRecord(
-                name=name,
-                category=category,
-                ts_s=ts_s,
-                track=track if track is not None else self.current_track,
-                args=args,
-            )
-        )
+        if track is None:
+            stack = self._track_stack
+            track = stack[-1] if stack else "main"
+        self._events.append((name, category, ts_s, track, args))
 
     def ingest_dmesg(self, buffer, track: str = "dmesg") -> int:
         """Copy a :class:`~repro.storage.oskernel.dmesg.DmesgBuffer`'s
@@ -202,15 +218,14 @@ class Tracer:
     # -- transport (worker processes) ----------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-safe dump of everything recorded (for worker transport)."""
+        """JSON-safe dump of everything recorded (for worker transport).
+
+        The internal tuples already hold the snapshot's field order, so
+        this is a plain list copy — no attribute walks.
+        """
         return {
-            "spans": [
-                [s.name, s.category, s.start_s, s.end_s, s.track, s.status, s.args]
-                for s in self.spans
-            ],
-            "events": [
-                [e.name, e.category, e.ts_s, e.track, e.args] for e in self.events
-            ],
+            "spans": [list(row) for row in self._spans],
+            "events": [list(row) for row in self._events],
             "dropped": self.dropped,
         }
 
@@ -237,13 +252,13 @@ class Tracer:
     def find_spans(self, name: str, track: Optional[str] = None) -> List[SpanRecord]:
         """Spans with the given name (optionally on one track)."""
         return [
-            s
-            for s in self.spans
-            if s.name == name and (track is None or s.track == track)
+            SpanRecord(*row)
+            for row in self._spans
+            if row[0] == name and (track is None or row[4] == track)
         ]
 
     def __len__(self) -> int:
-        return len(self.spans) + len(self.events)
+        return len(self._spans) + len(self._events)
 
 
 class NullTracer:

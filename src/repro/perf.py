@@ -17,10 +17,11 @@ environment variables (read once at import)::
     REPRO_SERVO_CACHE=0    # disable servo/modal memoization
     REPRO_IO_FAST_PATH=0   # disable controller fast path + locate cache
     REPRO_VEC_PHYSICS=0    # disable the numpy-vectorized kernels
+    REPRO_FIELD_CACHE=0    # disable the acoustic-field memo cache
 
 or toggled in-process with :func:`perf_baseline` /
 :func:`set_servo_cache_enabled` / :func:`set_io_fast_path_enabled` /
-:func:`set_vec_physics_enabled`.
+:func:`set_vec_physics_enabled` / :func:`set_field_cache_enabled`.
 Components read the flags when they are *constructed* (a fresh drive,
 controller, or servo picks up the current setting), except the shared
 geometry locate cache, which consults the flag per call so an already
@@ -37,9 +38,11 @@ __all__ = [
     "servo_cache_enabled",
     "io_fast_path_enabled",
     "vec_physics_enabled",
+    "field_cache_enabled",
     "set_servo_cache_enabled",
     "set_io_fast_path_enabled",
     "set_vec_physics_enabled",
+    "set_field_cache_enabled",
     "perf_baseline",
 ]
 
@@ -56,6 +59,7 @@ def _env_flag(name: str, default: bool = True) -> bool:
 _servo_cache: bool = _env_flag("REPRO_SERVO_CACHE")
 _io_fast_path: bool = _env_flag("REPRO_IO_FAST_PATH")
 _vec_physics: bool = _env_flag("REPRO_VEC_PHYSICS")
+_field_cache: bool = _env_flag("REPRO_FIELD_CACHE")
 
 
 def servo_cache_enabled() -> bool:
@@ -71,6 +75,11 @@ def io_fast_path_enabled() -> bool:
 def vec_physics_enabled() -> bool:
     """True when the numpy-vectorized kernels may be used."""
     return _vec_physics
+
+
+def field_cache_enabled() -> bool:
+    """True when the acoustic-field cache may serve coupling results."""
+    return _field_cache
 
 
 def set_servo_cache_enabled(enabled: bool) -> bool:
@@ -97,6 +106,14 @@ def set_vec_physics_enabled(enabled: bool) -> bool:
     return previous
 
 
+def set_field_cache_enabled(enabled: bool) -> bool:
+    """Set the acoustic-field-cache flag; returns the previous value."""
+    global _field_cache
+    previous = _field_cache
+    _field_cache = bool(enabled)
+    return previous
+
+
 @contextmanager
 def perf_baseline() -> Iterator[None]:
     """Run a block with every hot-path optimization disabled.
@@ -108,9 +125,11 @@ def perf_baseline() -> Iterator[None]:
     servo_prev = set_servo_cache_enabled(False)
     io_prev = set_io_fast_path_enabled(False)
     vec_prev = set_vec_physics_enabled(False)
+    field_prev = set_field_cache_enabled(False)
     try:
         yield
     finally:
         set_servo_cache_enabled(servo_prev)
         set_io_fast_path_enabled(io_prev)
         set_vec_physics_enabled(vec_prev)
+        set_field_cache_enabled(field_prev)

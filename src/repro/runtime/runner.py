@@ -58,6 +58,7 @@ from .faultinject import FaultAction, FaultPlan, apply_fault
 from .journal import CampaignJournal
 from .progress import ProgressReporter, _STDERR
 from .retry import FAILURE_ERROR, FAILURE_FAULT, FAILURE_TIMEOUT, PointFailure, RetryPolicy
+from .transport import maybe_unpack, pack_outcomes
 
 __all__ = ["SweepRunner", "make_runner"]
 
@@ -124,8 +125,15 @@ def _batched_attempt_job(
     point still runs through :func:`_attempt_job` (fault-free — the
     batched engine only runs when no fault plan is installed), so
     per-point results and telemetry snapshots are unchanged.
+
+    Telemetry-free chunks of registered hot row types additionally
+    return as one packed struct payload instead of a pickled object
+    list (see :mod:`repro.runtime.transport`); the parent unpacks to
+    the identical per-point triples.
     """
-    return [_attempt_job(fn, spec, None, with_telemetry) for spec in specs]
+    outcomes = [_attempt_job(fn, spec, None, with_telemetry) for spec in specs]
+    packed = pack_outcomes(outcomes)
+    return outcomes if packed is None else packed
 
 
 def make_runner(
@@ -167,6 +175,13 @@ def make_runner(
     if resume and journal_path is None:
         raise ConfigurationError("--resume needs a journal (--journal or --cache-dir)")
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if cache_dir is not None:
+        # Campaigns with a cache dir also persist the acoustic-field
+        # memo there, so re-runs and ablation variants sharing geometry
+        # skip the propagation chain across processes.
+        from repro.core.fieldcache import attach_disk
+
+        attach_disk(os.path.join(cache_dir, "acoustic-field"))
     journal = None
     if journal_path is not None:
         if campaign is None:
@@ -682,7 +697,7 @@ class SweepRunner:
             for future in concurrent.futures.as_completed(list(futures)):
                 batch = futures[future]
                 try:
-                    outcomes = future.result()
+                    outcomes = maybe_unpack(future.result())
                 except concurrent.futures.process.BrokenProcessPool as exc:
                     raise WorkerCrashed(
                         f"a campaign worker died after "

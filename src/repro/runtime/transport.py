@@ -1,0 +1,175 @@
+"""Compact pool transport for hot campaign row types.
+
+The process-pool runner ships every point's ``(result, trace snapshot,
+metrics snapshot)`` triple back to the parent pickled.  For the hot
+figure2/fleet row types — tiny frozen dataclasses of a few floats — the
+pickle framing (class references, memo tables, per-object opcodes)
+dwarfs the payload, and on small grids that IPC cost dominates the
+batched physics.  This module packs homogeneous batches of registered
+row types into one :mod:`struct` byte string instead: a few dozen bytes
+per row, no per-row object graph, and exact float64 bit patterns (so
+the runner's bit-identity guarantees are untouched).
+
+Only telemetry-free batches pack — a batch carrying trace or metric
+snapshots, mixed row types, or any unregistered type falls back to the
+plain pickled list unchanged.  Codecs are registered by the module that
+defines the row type (``repro.core.attack`` for ``SweepPoint``,
+``repro.core.fleet`` for ``BaySweepPoint``), so any process that can
+*produce* the rows can also decode them.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RowCodec",
+    "register_row_codec",
+    "codec_for_type",
+    "pack_outcomes",
+    "maybe_unpack",
+]
+
+#: First element of a packed payload tuple; versioned so a future layout
+#: change cannot be misread by an old parent.
+PACKED_MARKER = "__repro_packed_rows_v1__"
+
+#: struct format codes a row field may use: float64 and int64 cover the
+#: hot row types; both round-trip their Python values exactly.
+_ALLOWED_FORMATS = {"d", "q"}
+
+
+class RowCodec:
+    """Fixed-layout struct codec for one frozen-dataclass row type."""
+
+    def __init__(
+        self,
+        codec_id: str,
+        row_type: type,
+        fields: Sequence[Tuple[str, str]],
+    ) -> None:
+        if not fields:
+            raise ConfigurationError(f"row codec {codec_id!r} needs fields")
+        for name, fmt in fields:
+            if fmt not in _ALLOWED_FORMATS:
+                raise ConfigurationError(
+                    f"row codec {codec_id!r} field {name!r}: "
+                    f"format {fmt!r} not in {sorted(_ALLOWED_FORMATS)}"
+                )
+        self.codec_id = codec_id
+        self.row_type = row_type
+        self.fields = tuple((name, fmt) for name, fmt in fields)
+        self.names = tuple(name for name, _ in self.fields)
+        # Explicit little-endian, standard sizes: unambiguous on the
+        # wire regardless of host ABI padding.
+        self._struct = struct.Struct("<" + "".join(fmt for _, fmt in self.fields))
+
+    def pack(self, rows: Sequence[object]) -> bytes:
+        """Rows -> bytes.  Raises struct.error on out-of-range values."""
+        pack_into = self._struct.pack_into
+        size = self._struct.size
+        names = self.names
+        out = bytearray(size * len(rows))
+        offset = 0
+        for row in rows:
+            pack_into(out, offset, *[getattr(row, name) for name in names])
+            offset += size
+        return bytes(out)
+
+    def unpack(self, payload: bytes) -> List[object]:
+        """Bytes -> freshly constructed rows."""
+        if len(payload) % self._struct.size != 0:
+            raise ConfigurationError(
+                f"row codec {self.codec_id!r}: payload of {len(payload)} bytes "
+                f"is not a multiple of the {self._struct.size}-byte row"
+            )
+        row_type = self.row_type
+        return [row_type(*values) for values in self._struct.iter_unpack(payload)]
+
+
+_BY_TYPE: Dict[type, RowCodec] = {}
+_BY_ID: Dict[str, RowCodec] = {}
+
+
+def register_row_codec(
+    codec_id: str,
+    row_type: type,
+    fields: Sequence[Tuple[str, str]],
+) -> RowCodec:
+    """Register ``row_type`` for packed transport.
+
+    Re-registering the same (id, type name, fields) triple is a no-op —
+    modules re-import in spawned workers — but conflicting
+    registrations raise :class:`ConfigurationError`.
+    """
+    codec = RowCodec(codec_id, row_type, fields)
+    existing = _BY_ID.get(codec_id)
+    if existing is not None and (
+        existing.row_type.__name__ != row_type.__name__
+        or existing.fields != codec.fields
+    ):
+        raise ConfigurationError(
+            f"row codec {codec_id!r} already registered "
+            f"for {existing.row_type.__name__} with a different layout"
+        )
+    _BY_ID[codec_id] = codec
+    _BY_TYPE[row_type] = codec
+    return codec
+
+
+def codec_for_type(row_type: type) -> Optional[RowCodec]:
+    """The registered codec for ``row_type``, or None."""
+    return _BY_TYPE.get(row_type)
+
+
+def pack_outcomes(outcomes: Sequence[tuple]):
+    """Pack a batched job's outcome list, or None if it is not eligible.
+
+    Eligible batches are non-empty, telemetry-free (every trace and
+    metrics snapshot is None), and homogeneous in one registered row
+    type.  The packed form is ``(PACKED_MARKER, codec_id, payload)``.
+    """
+    if not outcomes:
+        return None
+    codec: Optional[RowCodec] = None
+    rows = []
+    for value, trace_snapshot, metrics_snapshot in outcomes:
+        if trace_snapshot is not None or metrics_snapshot is not None:
+            return None
+        row_codec = _BY_TYPE.get(type(value))
+        if row_codec is None:
+            return None
+        if codec is None:
+            codec = row_codec
+        elif row_codec is not codec:
+            return None
+        rows.append(value)
+    try:
+        payload = codec.pack(rows)
+    except struct.error:
+        return None  # out-of-range field value: fall back to pickle
+    return (PACKED_MARKER, codec.codec_id, payload)
+
+
+def maybe_unpack(outcomes):
+    """Decode a packed batch back to ``[(value, None, None), ...]``.
+
+    Anything that is not a packed payload passes through unchanged, so
+    the runner can call this unconditionally on every pool result.
+    """
+    if (
+        isinstance(outcomes, tuple)
+        and len(outcomes) == 3
+        and outcomes[0] == PACKED_MARKER
+    ):
+        codec = _BY_ID.get(outcomes[1])
+        if codec is None:
+            raise ConfigurationError(
+                f"received rows packed with unknown codec {outcomes[1]!r}; "
+                "the module registering it must be imported first"
+            )
+        return [(row, None, None) for row in codec.unpack(outcomes[2])]
+    return outcomes

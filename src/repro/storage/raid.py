@@ -77,6 +77,24 @@ class RaidArray:
         self.writes = 0
         self.degraded_reads = 0
 
+    @classmethod
+    def from_rack(
+        cls, rack, level: RaidLevel, name_prefix: str = "sd"
+    ) -> "RaidArray":
+        """An array over every drive of a :class:`~repro.core.fleet.DriveRack`.
+
+        This is the common-mode experiment in one line: all members sit
+        in the same enclosure, so one acoustic attack on the rack
+        (``rack.apply_attack`` — evaluated through the batched fleet
+        kernels) degrades every member at once.  Member devices are
+        named ``{name_prefix}0..N`` bottom bay first.
+        """
+        members = [
+            BlockDevice(drive, name=f"{name_prefix}{i}")
+            for i, drive in enumerate(rack.drives)
+        ]
+        return cls(level, members)
+
     # -- geometry ----------------------------------------------------------------
 
     @property

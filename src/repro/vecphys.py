@@ -48,7 +48,7 @@ except ImportError:  # pragma: no cover - exercised on numpy-less installs
     _np = None
 
 from repro.errors import ConfigurationError, UnitError
-from repro.hdd.servo import OpKind
+from repro.hdd.servo import OpKind, VibrationInput
 from repro.units import KM, SECTOR_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -76,6 +76,9 @@ __all__ = [
     "transmission_loss_db",
     "chassis_displacement",
     "sweep_surface",
+    "rack_attack",
+    "rack_success_probability",
+    "fleet_surface",
     "run_sequential_static",
 ]
 
@@ -125,22 +128,28 @@ def _paired(name: str, a: Sequence, b: Sequence) -> None:
 # --------------------------------------------------------------------------
 
 
+def _modal_consts(modes: "ModalResponse"):
+    """Hoisted (f0, zeta, gain) tuples — the kernel's loop constants."""
+    return tuple(
+        (mode.frequency_hz, mode.damping_ratio, mode.gain) for mode in modes.modes
+    )
+
+
+def _modal_eval(consts, f: float, sqrt=math.sqrt) -> float:
+    """One modal-response evaluation; bit-identical to the scalar chain."""
+    total_sq = 0
+    for f0, zeta, gain in consts:
+        r = f / f0
+        denom = sqrt((1.0 - r * r) ** 2 + (2.0 * zeta * r) ** 2)
+        total_sq += (gain / denom) ** 2
+    return sqrt(total_sq)
+
+
 def modal_response(modes: "ModalResponse", frequencies: Sequence[float]):
     """Batched :meth:`repro.vibration.modes.ModalResponse.response`."""
     _require_numpy()
-    consts = [
-        (mode.frequency_hz, mode.damping_ratio, mode.gain) for mode in modes.modes
-    ]
-    sqrt = math.sqrt
-    out = []
-    for f in _grid(frequencies):
-        total_sq = 0
-        for f0, zeta, gain in consts:
-            r = f / f0
-            denom = sqrt((1.0 - r * r) ** 2 + (2.0 * zeta * r) ** 2)
-            total_sq += (gain / denom) ** 2
-        out.append(sqrt(total_sq))
-    return _array(out)
+    consts = _modal_consts(modes)
+    return _array([_modal_eval(consts, f) for f in _grid(frequencies)])
 
 
 def panel_displacement_per_pascal(wall: "PanelWall", frequencies: Sequence[float]):
@@ -200,16 +209,18 @@ def mount_transmissibility(mount: "Mount", frequencies: Sequence[float]):
 # --------------------------------------------------------------------------
 
 
+def _rejection_eval(corner: float, order: int, f: float) -> float:
+    """One rejection evaluation; bit-identical to the scalar chain."""
+    r2 = (f / corner) ** 2
+    return (r2 / (1.0 + r2)) ** order
+
+
 def servo_rejection(servo: "ServoSystem", frequencies: Sequence[float]):
     """Batched :meth:`repro.hdd.servo.ServoSystem.rejection`."""
     _require_numpy()
     corner = servo.rejection_corner_hz
     order = servo.rejection_order
-    out = []
-    for f in _grid(frequencies):
-        r2 = (f / corner) ** 2
-        out.append((r2 / (1.0 + r2)) ** order)
-    return _array(out)
+    return _array([_rejection_eval(corner, order, f) for f in _grid(frequencies)])
 
 
 def _displacements(displacements: Sequence[float]) -> List[float]:
@@ -245,6 +256,49 @@ def servo_offtrack_amplitude(
     return _array(out)
 
 
+def _success_consts(servo: "ServoSystem", op: OpKind):
+    """Hoisted success-model constants for one (servo, op) pair."""
+    threshold = servo.threshold_m(op)
+    onset = servo.grazing_onset * threshold
+    return (
+        servo.servo_limit_m,
+        threshold,
+        servo.write_window_s if op is OpKind.WRITE else servo.read_window_s,
+        onset,
+        threshold - onset,
+        servo.grazing_penalty,
+        servo.grazing_exponent,
+    )
+
+
+def _success_eval(
+    a: float,
+    f: float,
+    limit: float,
+    threshold: float,
+    window: float,
+    onset: float,
+    span: float,
+    penalty: float,
+    exponent: float,
+    asin=math.asin,
+    pi=math.pi,
+) -> float:
+    """One success-probability evaluation; bit-identical to the scalar chain."""
+    if a >= limit:
+        return 0.0
+    if a <= 0.0:
+        return 1.0
+    if a <= threshold:
+        if a <= onset:
+            return 1.0
+        frac = (a - onset) / span
+        return 1.0 - penalty * frac ** exponent
+    on_track = asin(threshold / a) / (pi * f)
+    usable = max(0.0, on_track - window)
+    return min(1.0, 2.0 * f * usable)
+
+
 def servo_success_probability(
     servo: "ServoSystem",
     op: OpKind,
@@ -255,32 +309,8 @@ def servo_success_probability(
     _require_numpy()
     freqs = _grid(frequencies)
     amps = servo_offtrack_amplitude(servo, freqs, displacements).tolist()
-    limit = servo.servo_limit_m
-    threshold = servo.threshold_m(op)
-    window = servo.write_window_s if op is OpKind.WRITE else servo.read_window_s
-    onset = servo.grazing_onset * threshold
-    span = threshold - onset
-    penalty = servo.grazing_penalty
-    exponent = servo.grazing_exponent
-    asin = math.asin
-    pi = math.pi
-    out = []
-    for a, f in zip(amps, freqs):
-        if a >= limit:
-            out.append(0.0)
-        elif a <= 0.0:
-            out.append(1.0)
-        elif a <= threshold:
-            if a <= onset:
-                out.append(1.0)
-            else:
-                frac = (a - onset) / span
-                out.append(1.0 - penalty * frac ** exponent)
-        else:
-            on_track = asin(threshold / a) / (pi * f)
-            usable = max(0.0, on_track - window)
-            out.append(min(1.0, 2.0 * f * usable))
-    return _array(out)
+    consts = _success_consts(servo, op)
+    return _array([_success_eval(a, f, *consts) for a, f in zip(amps, freqs)])
 
 
 # --------------------------------------------------------------------------
@@ -404,6 +434,242 @@ def sweep_surface(
         "p_write": servo_success_probability(servo, OpKind.WRITE, freqs, disp_list),
         "p_read": servo_success_probability(servo, OpKind.READ, freqs, disp_list),
         "stalled": offtrack >= servo.servo_limit_m,
+    }
+
+
+# --------------------------------------------------------------------------
+# Fleet kernels: one call per rack
+# --------------------------------------------------------------------------
+#
+# A rack holds several drives behind ONE wall: the attacker, the water
+# path, and the enclosure panel are identical for every bay, and only
+# the ``StorageTower(bay=i)`` mount (a scalar ``base_gain``) and the
+# per-drive servo state differ.  The kernels below hoist that shared
+# source/water/wall stage out of the per-bay loop — it is computed once
+# per (source, rack geometry, water condition) and broadcast — while
+# keeping every per-element operation bit-identical to the scalar chain.
+# ``rack_attack`` and ``rack_success_probability`` are pure Python (no
+# numpy needed), so the fleet wiring keeps its speedup on numpy-less
+# installs; ``fleet_surface`` batches whole (frequency × bay) matrices
+# and does require numpy.
+
+
+def _shared_rack_stage(couplings: "Sequence[AttackCoupling]") -> "AttackCoupling":
+    """Validate that every bay shares the source/water/wall stage.
+
+    Returns the representative coupling whose attacker, environment,
+    enclosure, and structure-coupling calibration apply rack-wide.
+    Raises :class:`ConfigurationError` for heterogeneous racks — those
+    must be evaluated with the per-bay scalar chain.
+    """
+    first = couplings[0]
+    for other in couplings[1:]:
+        if other is first:
+            continue
+        if not (
+            (other.environment is first.environment or other.environment == first.environment)
+            and (other.attacker is first.attacker or other.attacker == first.attacker)
+            and (
+                other.scenario.enclosure is first.scenario.enclosure
+                or other.scenario.enclosure == first.scenario.enclosure
+            )
+            and other.scenario.calibration.structure_coupling
+            == first.scenario.calibration.structure_coupling
+        ):
+            raise ConfigurationError(
+                "rack bays do not share a source/water/wall stage; "
+                "evaluate them with the per-bay scalar chain instead"
+            )
+    return first
+
+
+def _mount_column(couplings: "Sequence[AttackCoupling]", f: float) -> List[float]:
+    """Per-bay mount transmissibility at one frequency.
+
+    The modal factor is computed once per distinct mode set (all
+    ``StorageTower`` bays share one), so only the per-bay ``base_gain``
+    multiply remains in the loop.
+    """
+    modal_cache: Dict[tuple, float] = {}
+    out = []
+    for coupling in couplings:
+        mount = coupling.scenario.mount
+        modes = mount.modes
+        if modes is None:
+            out.append(mount.base_gain)
+            continue
+        consts = _modal_consts(modes)
+        modal = modal_cache.get(consts)
+        if modal is None:
+            modal = _modal_eval(consts, f)
+            modal_cache[consts] = modal
+        out.append(mount.base_gain * modal)
+    return out
+
+
+def rack_attack(
+    couplings: "Sequence[AttackCoupling]", config
+) -> List[VibrationInput]:
+    """Per-bay chassis vibrations for one attack tone, in one call.
+
+    Computes the attacker → water → wall pressure and the enclosure
+    frame response once for the whole rack, then broadcasts across the
+    per-bay mounts.  Pure Python — no numpy required.  Bit-identical to
+    calling ``coupling.vibration_at_drive(config)`` on every bay.
+    """
+    if not couplings:
+        return []
+    first = _shared_rack_stage(couplings)
+    f = config.frequency_hz
+    if not (0.0 < f < math.inf):  # also rejects NaN, like the scalar guards
+        raise UnitError(f"frequency must be positive and finite: {f}")
+    pressure = first.wall_pressure_pa(config)
+    if pressure < 0.0:
+        raise UnitError(f"pressure must be non-negative: {pressure}")
+    if pressure == 0.0:
+        return [
+            VibrationInput(frequency_hz=f, displacement_m=0.0) for _ in couplings
+        ]
+    wall = first.scenario.enclosure.frame_displacement_per_pascal(f)
+    coupling_gain = first.scenario.calibration.structure_coupling
+    shared = pressure * wall * coupling_gain
+    return [
+        VibrationInput(frequency_hz=f, displacement_m=shared * transmissibility)
+        for transmissibility in _mount_column(couplings, f)
+    ]
+
+
+def rack_success_probability(
+    servo: "ServoSystem", op: OpKind, vibrations: Sequence[VibrationInput]
+) -> List[float]:
+    """Batched success probabilities for drives sharing one servo model.
+
+    Hoists the (servo, op) constants and shares the head-stack modal
+    response and rejection factor per distinct frequency — under a
+    single-tone attack the whole rack pays them once.  Pure Python.
+    Bit-identical to ``servo.success_probability(op, vibration)`` per
+    drive.
+    """
+    consts = _success_consts(servo, op)
+    hsa_consts = _modal_consts(servo.hsa)
+    head_gain = servo.head_gain
+    corner = servo.rejection_corner_hz
+    order = servo.rejection_order
+    stage: Dict[float, tuple] = {}
+    out = []
+    for vibration in vibrations:
+        f = vibration.frequency_hz
+        d = vibration.displacement_m
+        if d == 0.0:
+            amplitude = 0.0
+        else:
+            pair = stage.get(f)
+            if pair is None:
+                mechanical = _modal_eval(hsa_consts, f) * head_gain
+                pair = (mechanical, _rejection_eval(corner, order, f))
+                stage[f] = pair
+            amplitude = d * pair[0] * pair[1]
+        out.append(_success_eval(amplitude, f, *consts))
+    return out
+
+
+def fleet_surface(
+    couplings: "Sequence[AttackCoupling]",
+    base_config,
+    frequencies: Sequence[float],
+    servo: "Optional[ServoSystem]" = None,
+) -> "Dict[str, object]":
+    """(frequency × bay) attack response surface for a whole rack.
+
+    Evaluates the full acoustics → wall → mount → servo chain over the
+    grid for every bay in one call.  The attacker/water/wall stage is
+    computed once per frequency (not once per bay), the head-stack and
+    rejection factors once per frequency (the rack shares one servo
+    model), and the per-bay work reduces to the mount broadcast plus the
+    success-model branches.  Returns 1-D arrays ``frequency_hz`` and
+    ``wall_pressure_pa`` plus 2-D ``(bays, len(grid))`` arrays
+    ``displacement_m``, ``offtrack_m``, ``p_write``, ``p_read``, and the
+    boolean ``stalled``.  Every element is bit-identical to the scalar
+    chain run on that (bay, frequency) cell.
+    """
+    _require_numpy()
+    if not couplings:
+        raise ConfigurationError("fleet_surface needs at least one bay")
+    freqs = _grid(frequencies)
+    first = _shared_rack_stage(couplings)
+    if servo is None:
+        from repro.hdd.profiles import BARRACUDA_500GB
+
+        servo = BARRACUDA_500GB.servo
+
+    # Shared stage: once per frequency for the whole rack.
+    pressures = [
+        first.wall_pressure_pa(base_config.at_frequency(f)) for f in freqs
+    ]
+    frame = frame_displacement_per_pascal(first.scenario.enclosure, freqs).tolist()
+    coupling_gain = first.scenario.calibration.structure_coupling
+    shared = []
+    for pressure, wall in zip(pressures, frame):
+        if pressure < 0.0:
+            raise UnitError(f"pressure must be non-negative: {pressure}")
+        if pressure == 0.0:
+            shared.append(0.0)
+        else:
+            shared.append(pressure * wall * coupling_gain)
+
+    # Shared servo stage: the whole rack runs one servo model.
+    hsa = modal_response(servo.hsa, freqs).tolist()
+    head_gain = servo.head_gain
+    mechanical = [h * head_gain for h in hsa]
+    rej = servo_rejection(servo, freqs).tolist()
+    limit = servo.servo_limit_m
+    write_consts = _success_consts(servo, OpKind.WRITE)
+    read_consts = _success_consts(servo, OpKind.READ)
+
+    # Per-bay broadcast: only the mount differs between bays, and all
+    # StorageTower bays share one mode set, so the modal factor is
+    # computed once and reused.
+    modal_cache: Dict[tuple, List[float]] = {}
+    disp_rows, off_rows, pw_rows, pr_rows, stall_rows = [], [], [], [], []
+    for coupling in couplings:
+        mount = coupling.scenario.mount
+        modes = mount.modes
+        base_gain = mount.base_gain
+        if modes is None:
+            transmissibilities = [base_gain] * len(freqs)
+        else:
+            consts = _modal_consts(modes)
+            modal = modal_cache.get(consts)
+            if modal is None:
+                modal = [_modal_eval(consts, f) for f in freqs]
+                modal_cache[consts] = modal
+            transmissibilities = [base_gain * m for m in modal]
+        disps = [
+            0.0 if s == 0.0 else s * t
+            for s, t in zip(shared, transmissibilities)
+        ]
+        offs = [
+            0.0 if d == 0.0 else d * m * r
+            for d, m, r in zip(disps, mechanical, rej)
+        ]
+        disp_rows.append(disps)
+        off_rows.append(offs)
+        pw_rows.append(
+            [_success_eval(a, f, *write_consts) for a, f in zip(offs, freqs)]
+        )
+        pr_rows.append(
+            [_success_eval(a, f, *read_consts) for a, f in zip(offs, freqs)]
+        )
+        stall_rows.append([a >= limit for a in offs])
+
+    return {
+        "frequency_hz": _array(freqs),
+        "wall_pressure_pa": _array(pressures),
+        "displacement_m": _np.asarray(disp_rows, dtype=_np.float64),
+        "offtrack_m": _np.asarray(off_rows, dtype=_np.float64),
+        "p_write": _np.asarray(pw_rows, dtype=_np.float64),
+        "p_read": _np.asarray(pr_rows, dtype=_np.float64),
+        "stalled": _np.asarray(stall_rows, dtype=bool),
     }
 
 
