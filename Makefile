@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help test smoke lint bench bench-json bench-fleet trace-smoke doctest docs docs-check
+.PHONY: help test smoke lint bench bench-json bench-fleet trace-smoke dashboard-smoke doctest docs docs-check
 
 help:       ## list targets with their one-line descriptions
 	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -37,3 +37,9 @@ trace-smoke: ## tiny traced sweep + trace schema validation
 	$(PYTHON) -m repro.cli figure2 --runtime 0.2 --seed 7 \
 		--trace trace.json --metrics-out metrics.prom > /dev/null
 	$(PYTHON) tools/validate_trace.py trace.json
+
+dashboard-smoke: ## tiny attacked YCSB run + series/dashboard validation
+	$(PYTHON) -m repro.cli ycsb --warmup 1 --attack 1.5 --recovery 1 \
+		--records 150 --slo 'p99<25ms,avail>=99.9' \
+		--series-out series.jsonl --dashboard-out dashboard.html > /dev/null
+	$(PYTHON) tools/validate_trace.py series.jsonl dashboard.html

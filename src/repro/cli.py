@@ -11,6 +11,9 @@ ablations::
                        [--workers N] [--cache-dir D]
     deepnote predict   --frequency HZ --distance M [--level DB] [--scenario N]
     deepnote rack      [--bays N] [--frequency HZ] [--distance M] [--metal]
+    deepnote ycsb      [--workload A|B|C|D|F] [--warmup S] [--attack S]
+                       [--recovery S] [--frequency HZ] [--level DB]
+                       [--distance M] [--records N] [--seed N]
     deepnote smart     [--frequency HZ] [--distance M] [--runtime S]
     deepnote report    [--output PATH] [--full] [--seed N]
     deepnote all       [--workers N] [--cache-dir D]
@@ -36,8 +39,13 @@ writes Chrome ``trace_event`` JSON (open it in https://ui.perfetto.dev),
 ``--trace-detail attempts`` raises the granularity to every media
 attempt, ``--metrics-out PATH`` dumps the run's metrics registry in
 Prometheus text format, and ``table3 --incident-out PATH`` writes the
-correlated crash-story report.  Without these flags no telemetry is
-installed and the hot paths keep their bit-identical fast path.
+correlated crash-story report.  ``--series-out PATH`` dumps the run's
+windowed time series as JSONL, ``--slo SPEC`` evaluates SLO objectives
+over them (``p99<5ms,avail>=99.9`` grammar) and prints the violation
+accounting, and ``--dashboard-out PATH`` writes the self-contained HTML
+dashboard (series timelines, SLO table, attack-window shading, fleet
+health).  Without these flags no telemetry is installed and the hot
+paths keep their bit-identical fast path.
 """
 
 from __future__ import annotations
@@ -125,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics-out", default=None, metavar="PATH",
             help="write a Prometheus-style text dump of the run's metrics",
         )
+        command.add_argument(
+            "--series-out", default=None, metavar="PATH",
+            help="write the run's windowed time series as JSONL",
+        )
+        command.add_argument(
+            "--dashboard-out", default=None, metavar="PATH",
+            help="write a self-contained HTML dashboard of the run",
+        )
+        command.add_argument(
+            "--slo", default=None, metavar="SPEC",
+            help=(
+                "evaluate SLO objectives over the recorded series and "
+                "print the violation accounting, e.g. 'p99<5ms,avail>=99.9'"
+            ),
+        )
 
     fig2 = sub.add_parser("figure2", help="throughput vs frequency, Scenarios 1-3")
     fig2.add_argument("--runtime", type=float, default=1.0, help="FIO seconds per point")
@@ -181,6 +204,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="also sweep the band once per rack (batched fleet surface) "
         "and report each bay's stalled range",
     )
+    add_telemetry_flags(rack)
+
+    ycsb = sub.add_parser(
+        "ycsb", help="YCSB serving simulation with one acoustic attack window"
+    )
+    ycsb.add_argument(
+        "--workload", choices=tuple("ABCDF"), default="A", help="YCSB mix"
+    )
+    ycsb.add_argument("--warmup", type=float, default=2.0, help="quiet seconds before the attack")
+    ycsb.add_argument("--attack", type=float, default=3.0, help="attack window seconds")
+    ycsb.add_argument("--recovery", type=float, default=3.0, help="quiet seconds after the attack")
+    ycsb.add_argument("--frequency", type=float, default=650.0, help="tone Hz")
+    ycsb.add_argument("--level", type=float, default=139.0, help="source dB re 1 uPa")
+    ycsb.add_argument("--distance", type=float, default=0.12, help="speaker distance m")
+    ycsb.add_argument("--records", type=int, default=300, help="loaded record count")
+    ycsb.add_argument("--seed", type=int, default=7)
+    add_telemetry_flags(ycsb)
 
     smart = sub.add_parser("smart", help="SMART forensics of an attacked drive")
     smart.add_argument("--frequency", type=float, default=650.0)
@@ -364,10 +404,19 @@ def _cmd_rack(args: argparse.Namespace) -> int:
     from repro.core.attacker import AttackConfig
     from repro.core.fleet import DriveRack
 
+    from repro.obs import telemetry as obs_telemetry
+
     rack = DriveRack(bays=args.bays, metal=args.metal)
     config = AttackConfig(args.frequency, 140.0, args.distance)
     vibrations = rack.apply_attack(config)
     probabilities = rack.write_success_probabilities()
+    tel = obs_telemetry.get()
+    if tel is not None:
+        from repro.obs.health import HealthTracker
+
+        tracker = HealthTracker(recorder=tel.series)
+        rack.record_health(tracker)
+        tel.health = tracker  # picked up by main() for the dashboard
     print(
         f"rack of {args.bays} bays, {'metal' if args.metal else 'plastic'} container, "
         f"{args.frequency:.0f} Hz at {args.distance * 100:.0f} cm:"
@@ -400,6 +449,42 @@ def _cmd_rack(args: argparse.Namespace) -> int:
             print(
                 f"{row['bay']:>4} {len(stalled):>11} {min(row['p_write']):>13.3f}  {band}"
             )
+    return 0
+
+
+def _cmd_ycsb(args: argparse.Namespace) -> int:
+    from repro.core.attacker import AttackConfig
+    from repro.obs import telemetry as obs_telemetry
+    from repro.workloads.ycsb import WORKLOADS, run_service_attack
+
+    config = AttackConfig(args.frequency, args.level, args.distance)
+    outcome = run_service_attack(
+        WORKLOADS[args.workload],
+        warmup_s=args.warmup,
+        attack_s=args.attack,
+        recovery_s=args.recovery,
+        config=config,
+        record_count=args.records,
+        seed=args.seed,
+    )
+    print(
+        f"ycsb {outcome.workload}: {outcome.ops} ops over "
+        f"{outcome.total_s:.1f}s virtual, {outcome.errors} fatal errors, "
+        f"{outcome.downtime_s:.1f}s downtime"
+    )
+    print(
+        f"attack window: {outcome.attack_start_s:.1f}-{outcome.attack_end_s:.1f}s "
+        f"({args.frequency:.0f} Hz at {args.level:.0f} dB, "
+        f"{args.distance * 100:.0f} cm)"
+    )
+    tel = obs_telemetry.get()
+    if tel is not None:
+        from repro.obs.dashboard import render_text_summary
+
+        summary = render_text_summary(tel.series)
+        if summary:
+            print()
+            print(summary)
     return 0
 
 
@@ -484,6 +569,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "predict": _cmd_predict,
     "rack": _cmd_rack,
+    "ycsb": _cmd_ycsb,
     "smart": _cmd_smart,
     "report": _cmd_report,
     "all": _cmd_all,
@@ -506,11 +592,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     incident_path = getattr(args, "incident_out", None)
-    if trace_path is None and metrics_path is None and incident_path is None:
+    series_path = getattr(args, "series_out", None)
+    dashboard_path = getattr(args, "dashboard_out", None)
+    slo_spec = getattr(args, "slo", None)
+    if (
+        trace_path is None
+        and metrics_path is None
+        and incident_path is None
+        and series_path is None
+        and dashboard_path is None
+        and slo_spec is None
+    ):
         return handler(args)
 
     from repro import obs
 
+    objectives = obs.parse_slo(slo_spec) if slo_spec is not None else None
     detail = getattr(args, "trace_detail", "commands")
     with obs.session(obs.Telemetry(tracer=obs.Tracer(detail=detail))) as tel:
         status = handler(args)
@@ -524,6 +621,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if metrics_path is not None:
         obs.write_metrics_text(tel.metrics, metrics_path)
         print(f"metrics written to {metrics_path}", file=sys.stderr)
+    attack_windows = obs.attack_windows_from_tracer(tel.tracer)
+    slo_report = None
+    if objectives is not None:
+        slo_report = obs.evaluate_slo(
+            tel.series, objectives, attack_windows=attack_windows
+        )
+        print(slo_report.render())
+    if series_path is not None:
+        obs.write_series_jsonl(tel.series, series_path)
+        print(
+            f"series written to {series_path} ({len(tel.series)} series)",
+            file=sys.stderr,
+        )
+    if dashboard_path is not None:
+        obs.write_dashboard_html(
+            tel.series,
+            dashboard_path,
+            slo_report=slo_report,
+            health=getattr(tel, "health", None),
+            attack_windows=attack_windows,
+            title=f"deepnote {args.command}",
+        )
+        print(f"dashboard written to {dashboard_path}", file=sys.stderr)
     return status
 
 

@@ -353,6 +353,33 @@ class AttackSession:
         if self._obs is not None:
             self._obs.metrics.counter("attack_points_total", kind=kind).inc()
 
+    def _record_point_series(
+        self,
+        prefix: str,
+        axis_value: float,
+        write_mbps: float,
+        read_mbps: float,
+        interval_s: float = 1.0,
+    ) -> None:
+        """Record one campaign point into throughput series.
+
+        Campaign points run on fresh per-point rigs whose clocks all
+        start at zero, so virtual time is meaningless across points;
+        the series axis is the campaign's sweep coordinate instead
+        (frequency in Hz for sweeps, distance in meters for range
+        curves).  The dashboard then renders the familiar throughput
+        collapse curve directly from the merged series.
+        """
+        if self._obs is None:
+            return
+        series = self._obs.series
+        series.series(f"{prefix}/write_mbps", interval_s=interval_s).record(
+            axis_value, write_mbps
+        )
+        series.series(f"{prefix}/read_mbps", interval_s=interval_s).record(
+            axis_value, read_mbps
+        )
+
     # -- plumbing -------------------------------------------------------------
 
     def _fresh_rig(self, label: str) -> "tuple[HardDiskDrive, FioTester]":
@@ -391,6 +418,9 @@ class AttackSession:
                 write = self._measure(drive, tester, IOMode.SEQ_WRITE)
                 read = self._measure(drive, tester, IOMode.SEQ_READ)
         self._count_point("sweep")
+        self._record_point_series(
+            "campaign/sweep", frequency, write.throughput_mbps, read.throughput_mbps
+        )
         return SweepPoint(frequency, write.throughput_mbps, read.throughput_mbps)
 
     def _range_point(
@@ -421,6 +451,13 @@ class AttackSession:
                 write = self._measure(drive, tester, IOMode.SEQ_WRITE)
                 read = self._measure(drive, tester, IOMode.SEQ_READ)
         self._count_point("range")
+        self._record_point_series(
+            "campaign/range",
+            0.0 if distance_m is None else distance_m,
+            write.throughput_mbps,
+            read.throughput_mbps,
+            interval_s=0.01,
+        )
         return RangePoint(
             distance_m=0.0 if distance_m is None else distance_m,
             read=read,

@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.hdd.drive import HardDiskDrive
 from repro.hdd.profiles import make_barracuda_profile
 from repro.hdd.servo import OpKind, ServoSystem, VibrationInput
+from repro.obs import telemetry as obs
 from repro.rng import ReproRandom, make_rng
 from repro.runtime import transport
 from repro.sim.clock import VirtualClock
@@ -135,6 +136,9 @@ class DriveRack:
             )
             coupling = AttackCoupling(environment=env, scenario=scenario)
             self.slots.append(RackSlot(bay=bay, drive=drive, coupling=coupling))
+        self.name = "rack0"
+        self._obs = obs.get()
+        self._attack_active = False
 
     @property
     def drives(self) -> List[HardDiskDrive]:
@@ -162,6 +166,7 @@ class DriveRack:
         the attack.  With the vectorized kernels enabled the shared
         source/water/wall stage is computed once for the whole rack.
         """
+        self._annotate_attack(config)
         if config is not None and perf.vec_physics_enabled():
             try:
                 batched = vecphys.rack_attack(self.couplings, config)
@@ -177,6 +182,37 @@ class DriveRack:
             slot.bay: slot.coupling.apply(slot.drive, config)
             for slot in self.slots
         }
+
+    def _annotate_attack(self, config: Optional[AttackConfig]) -> None:
+        """Emit ``attack.on`` / ``attack.off`` edges onto the tracer so
+        SLO and dashboard tooling can shade the attack window."""
+        tel = self._obs
+        if tel is None:
+            return
+        active = config is not None
+        if active and not self._attack_active:
+            tel.tracer.instant(
+                "attack.on",
+                self.clock.now,
+                category="attack",
+                args={
+                    "rack": self.name,
+                    "frequency_hz": config.frequency_hz,
+                    "source_level_db": config.source_level_db,
+                },
+            )
+        elif not active and self._attack_active:
+            tel.tracer.instant(
+                "attack.off", self.clock.now, category="attack", args={"rack": self.name}
+            )
+        self._attack_active = active
+
+    def record_health(self, tracker, t_s: Optional[float] = None) -> str:
+        """Classify every bay into ``tracker`` (a
+        :class:`~repro.obs.health.HealthTracker`) from the current
+        write-success probabilities; returns the rack's rolled-up state."""
+        at = self.clock.now if t_s is None else t_s
+        return tracker.observe_rack(self.name, self.write_success_probabilities(), at)
 
     def _success_probabilities(self, op: OpKind) -> Dict[int, float]:
         if perf.vec_physics_enabled():

@@ -24,7 +24,12 @@ from repro.obs import telemetry as obs
 from repro.obs.trace import NULL_TRACER
 from repro.sim.clock import VirtualClock
 
-__all__ = ["MonitoredApplication", "CrashReport", "AvailabilityMonitor"]
+__all__ = [
+    "MonitoredApplication",
+    "CrashReport",
+    "WatchTruncation",
+    "AvailabilityMonitor",
+]
 
 
 @runtime_checkable
@@ -60,6 +65,29 @@ class CrashReport:
         )
 
 
+@dataclass(frozen=True)
+class WatchTruncation:
+    """A watch that ran out of step budget before its deadline.
+
+    The application did not crash, but it was not proven to survive
+    either: ``max_steps`` exhausted with ``elapsed_s < deadline_s``.
+    Reporting this as plain survival would silently under-count crash
+    risk, so the monitor records the truncation separately.
+    """
+
+    application: str
+    description: str
+    elapsed_s: float
+    deadline_s: float
+    steps: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.application}: watch truncated at {self.elapsed_s:.1f}s "
+            f"of {self.deadline_s:.1f}s ({self.steps} steps)"
+        )
+
+
 #: Exception types that count as application crashes.
 _CRASH_TYPES = (JournalAbort, KernelPanic, ProcessCrashed, WALSyncError)
 
@@ -67,9 +95,13 @@ _CRASH_TYPES = (JournalAbort, KernelPanic, ProcessCrashed, WALSyncError)
 class AvailabilityMonitor:
     """Runs applications under attack until they crash or survive."""
 
-    def __init__(self, clock: VirtualClock) -> None:
+    def __init__(
+        self, clock: VirtualClock, health: Optional["HealthTrackerLike"] = None
+    ) -> None:
         self.clock = clock
         self.reports: List[CrashReport] = []
+        self.truncations: List[WatchTruncation] = []
+        self.health = health
         self._obs = obs.get()
 
     def watch(
@@ -82,7 +114,11 @@ class AvailabilityMonitor:
         """Step ``app`` until it crashes or ``deadline_s`` elapses.
 
         Returns the crash report (also appended to :attr:`reports`) or
-        None if the application survived the attack window.
+        None if the application survived the attack window.  A watch
+        that exhausts ``max_steps`` before the deadline also returns
+        None but is recorded in :attr:`truncations` (and surfaced on
+        the health timeline / metrics when attached) — "survived" and
+        "ran out of budget" are different findings.
         """
         if deadline_s <= 0.0:
             raise ConfigurationError("deadline must be positive")
@@ -97,6 +133,10 @@ class AvailabilityMonitor:
                 args={"app": app.name, "deadline_s": deadline_s},
             ):
                 report = self._watch(app, description, deadline_s, max_steps, start)
+        truncation = self.truncations[-1] if (
+            self.truncations and self.truncations[-1].application == app.name
+            and report is None
+        ) else None
         if tel is not None:
             if report is not None:
                 tracer.instant(
@@ -107,8 +147,40 @@ class AvailabilityMonitor:
                     track=f"victim/{app.name}",
                 )
                 tel.metrics.counter("monitor_crashes_total", app=app.name).inc()
+            elif truncation is not None:
+                tracer.instant(
+                    "watch.truncated",
+                    self.clock.now,
+                    category="monitor",
+                    args={
+                        "app": app.name,
+                        "elapsed_s": truncation.elapsed_s,
+                        "deadline_s": deadline_s,
+                        "steps": truncation.steps,
+                    },
+                    track=f"victim/{app.name}",
+                )
+                tel.metrics.counter(
+                    "monitor_step_budget_exhausted_total",
+                    description=(
+                        "Watches that ran out of max_steps before their "
+                        "deadline; their survival verdict is unproven."
+                    ),
+                    app=app.name,
+                ).inc()
             else:
                 tel.metrics.counter("monitor_survivals_total", app=app.name).inc()
+        if self.health is not None:
+            if report is not None:
+                self.health.mark_crashed(
+                    app.name,
+                    start + report.time_to_crash_s,
+                    detail=report.error_output,
+                )
+            elif truncation is not None:
+                self.health.mark_truncated(
+                    app.name, self.clock.now, detail=str(truncation)
+                )
         return report
 
     def _watch(
@@ -139,6 +211,17 @@ class AvailabilityMonitor:
                 # that above.  Anything else keeps the app nominally
                 # alive, matching the paper's crash criterion.
                 continue
+        elapsed = self.clock.elapsed_since(start)
+        if steps >= max_steps and elapsed < deadline_s:
+            self.truncations.append(
+                WatchTruncation(
+                    application=app.name,
+                    description=description,
+                    elapsed_s=elapsed,
+                    deadline_s=deadline_s,
+                    steps=steps,
+                )
+            )
         return None
 
     def average_time_to_crash_s(self) -> Optional[float]:
@@ -146,3 +229,14 @@ class AvailabilityMonitor:
         if not self.reports:
             return None
         return sum(report.time_to_crash_s for report in self.reports) / len(self.reports)
+
+
+class HealthTrackerLike(Protocol):
+    """The slice of :class:`repro.obs.health.HealthTracker` the monitor
+    uses (kept structural so core does not import obs.health)."""
+
+    def mark_crashed(self, unit: str, t_s: float, detail: str = "") -> str:
+        ...  # pragma: no cover - protocol signature
+
+    def mark_truncated(self, unit: str, t_s: float, detail: str = "") -> None:
+        ...  # pragma: no cover - protocol signature

@@ -6,10 +6,20 @@ One subsystem for everything the repro can observe about itself:
   zero-overhead :data:`NULL_TRACER` for the disabled path);
 * :mod:`~repro.obs.metrics` — counters / gauges / fixed-bucket
   histograms with deterministic snapshot/merge for worker fan-out;
+* :mod:`~repro.obs.timeseries` — fixed-interval windowed series on the
+  virtual clock (throughput, latency, health over *time*), same
+  snapshot/merge discipline;
+* :mod:`~repro.obs.slo` — windowed SLO accounting: p50/p99/p999,
+  availability, error-budget burn, violation minutes, time-to-recover
+  per attack window;
+* :mod:`~repro.obs.health` — bay → rack → fleet health rollups;
 * :mod:`~repro.obs.telemetry` — the installable process-wide bundle
   components capture at construction;
 * :mod:`~repro.obs.exporters` — Chrome ``trace_event`` JSON (Perfetto),
-  JSONL event logs, Prometheus text dumps;
+  JSONL event logs, Prometheus text dumps, series JSONL, and the
+  self-contained HTML dashboard;
+* :mod:`~repro.obs.dashboard` — the dashboard renderer itself (HTML +
+  terminal sparklines);
 * :mod:`~repro.obs.incident` — the correlated crash-story report.
 
 Quick start::
@@ -21,13 +31,23 @@ Quick start::
     obs.write_chrome_trace(tel.tracer, "table3-trace.json")
 """
 
+from .dashboard import (
+    dashboard_payload,
+    render_dashboard_html,
+    render_text_summary,
+    sparkline,
+)
 from .exporters import (
     chrome_trace,
     jsonl_lines,
+    series_jsonl_lines,
     write_chrome_trace,
+    write_dashboard_html,
     write_jsonl,
     write_metrics_text,
+    write_series_jsonl,
 )
+from .health import HEALTH_STATES, HealthTracker, classify_probability
 from .incident import build_incident_report
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_S,
@@ -36,7 +56,15 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .slo import (
+    SloObjective,
+    SloReport,
+    attack_windows_from_tracer,
+    evaluate_slo,
+    parse_slo,
+)
 from .telemetry import Telemetry, enabled, get, install, session, tracer
+from .timeseries import MetricsSampler, SeriesRecorder, TimeSeries
 from .trace import NULL_TRACER, EventRecord, NullTracer, SpanRecord, Tracer
 
 __all__ = [
@@ -50,6 +78,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS_S",
+    "TimeSeries",
+    "SeriesRecorder",
+    "MetricsSampler",
+    "SloObjective",
+    "SloReport",
+    "parse_slo",
+    "evaluate_slo",
+    "attack_windows_from_tracer",
+    "HealthTracker",
+    "HEALTH_STATES",
+    "classify_probability",
     "Telemetry",
     "get",
     "install",
@@ -61,5 +100,12 @@ __all__ = [
     "jsonl_lines",
     "write_jsonl",
     "write_metrics_text",
+    "series_jsonl_lines",
+    "write_series_jsonl",
+    "write_dashboard_html",
+    "dashboard_payload",
+    "render_dashboard_html",
+    "render_text_summary",
+    "sparkline",
     "build_incident_report",
 ]

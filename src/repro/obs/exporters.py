@@ -10,6 +10,12 @@ Three formats, all deterministic for a given tracer/registry state:
   interleaved in virtual-time order, for ``grep``/``jq`` forensics.
 * **Prometheus text dump** — the registry's exposition format, written
   to a file for the ``--metrics-out`` CLI flag.
+* **Series JSONL** — one JSON object per (series, window), sorted by
+  series name then window index, for the ``--series-out`` flag.  This
+  is the artifact the ``--workers`` byte-identity acceptance test
+  compares, so the ordering and ``sort_keys`` are load-bearing.
+* **Dashboard HTML** — the self-contained report from
+  :mod:`repro.obs.dashboard`, for the ``--dashboard-out`` flag.
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ __all__ = [
     "jsonl_lines",
     "write_jsonl",
     "write_metrics_text",
+    "series_jsonl_lines",
+    "write_series_jsonl",
+    "write_dashboard_html",
 ]
 
 #: All simulated activity is "one process" in the viewer.
@@ -146,3 +155,71 @@ def write_metrics_text(registry, path: str) -> None:
     """Write the registry's Prometheus text dump to ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(registry.render_prometheus())
+
+
+def series_jsonl_lines(recorder) -> List[str]:
+    """Every recorded window as one JSON line.
+
+    Lines are sorted by series name, then window index; each carries
+    the window start time and the window aggregate, so ``jq`` can
+    reconstruct any series without extra state.  Byte-identical for
+    identical recorder contents (the ``--workers`` parity guarantee).
+    """
+    lines: List[str] = []
+    for name in recorder.names():
+        series = recorder.get(name)
+        for index in series.window_indexes():
+            window = series.windows[index]
+            record: Dict[str, Any] = {
+                "series": name,
+                "kind": series.kind,
+                "window": index,
+                "t_s": series.window_start_s(index),
+                "interval_s": series.interval_s,
+            }
+            if series.kind == "value":
+                record.update(
+                    count=window.count,
+                    sum=window.sum,
+                    min=window.min,
+                    max=window.max,
+                    last=window.last,
+                )
+            else:
+                record.update(
+                    count=window.count,
+                    sum=window.sum,
+                    counts=list(window.counts),
+                )
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_series_jsonl(recorder, path: str) -> None:
+    """Write :func:`series_jsonl_lines` to ``path``, one per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in series_jsonl_lines(recorder):
+            handle.write(line)
+            handle.write("\n")
+
+
+def write_dashboard_html(
+    recorder,
+    path: str,
+    slo_report=None,
+    health=None,
+    attack_windows=None,
+    title: str = "campaign dashboard",
+) -> None:
+    """Render and write the standalone dashboard report."""
+    from .dashboard import render_dashboard_html
+
+    html_text = render_dashboard_html(
+        recorder,
+        slo_report=slo_report,
+        health=health,
+        attack_windows=attack_windows,
+        title=title,
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html_text)

@@ -160,19 +160,38 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, Labels], Counter] = {}
         self._gauges: Dict[Tuple[str, Labels], Gauge] = {}
         self._histograms: Dict[Tuple[str, Labels], Histogram] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    def _describe(self, name: str, description: Optional[str]) -> None:
+        if description and name not in self._descriptions:
+            self._descriptions[name] = description
+
+    def description(self, name: str) -> Optional[str]:
+        """The registered help text for ``name``, or None."""
+        return self._descriptions.get(name)
 
     # -- instrument access (get-or-create) -----------------------------------
 
-    def counter(self, name: str, **labels: Any) -> Counter:
-        """The counter for (name, labels), created on first use."""
+    def counter(
+        self, name: str, description: Optional[str] = None, **labels: Any
+    ) -> Counter:
+        """The counter for (name, labels), created on first use.
+
+        ``description`` registers ``# HELP`` text the first time it is
+        given for a name; later values for the same name are ignored.
+        """
+        self._describe(name, description)
         key = (name, _labels_key(labels))
         metric = self._counters.get(key)
         if metric is None:
             metric = self._counters[key] = Counter()
         return metric
 
-    def gauge(self, name: str, **labels: Any) -> Gauge:
+    def gauge(
+        self, name: str, description: Optional[str] = None, **labels: Any
+    ) -> Gauge:
         """The gauge for (name, labels), created on first use."""
+        self._describe(name, description)
         key = (name, _labels_key(labels))
         metric = self._gauges.get(key)
         if metric is None:
@@ -183,6 +202,7 @@ class MetricsRegistry:
         self,
         name: str,
         bounds: Optional[Iterable[float]] = None,
+        description: Optional[str] = None,
         **labels: Any,
     ) -> Histogram:
         """The histogram for (name, labels), created on first use.
@@ -190,6 +210,7 @@ class MetricsRegistry:
         ``bounds`` only applies at creation; later lookups must agree
         (mismatched bounds would silently mis-bucket).
         """
+        self._describe(name, description)
         key = (name, _labels_key(labels))
         metric = self._histograms.get(key)
         if metric is None:
@@ -244,11 +265,16 @@ class MetricsRegistry:
                 ]
                 for (name, labels), metric in sorted(self._histograms.items())
             ],
+            "descriptions": [
+                [name, text] for name, text in sorted(self._descriptions.items())
+            ],
         }
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` in: counters and histograms add,
         gauges take the incoming value (last writer wins)."""
+        for name, text in snapshot.get("descriptions", []):
+            self._describe(name, text)
         for name, labels, value in snapshot.get("counters", []):
             self.counter(name, **dict(labels)).inc(value)
         for name, labels, value in snapshot.get("gauges", []):
@@ -289,6 +315,10 @@ class MetricsRegistry:
         def type_line(name: str, kind: str) -> None:
             if name not in emitted_types:
                 emitted_types.add(name)
+                help_text = self._descriptions.get(name)
+                if help_text:
+                    escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+                    lines.append(f"# HELP {name} {escaped}")
                 lines.append(f"# TYPE {name} {kind}")
 
         for (name, labels), metric in sorted(self._counters.items()):

@@ -1,7 +1,8 @@
 """The process-wide telemetry switchboard.
 
-A :class:`Telemetry` bundles one :class:`~repro.obs.trace.Tracer` and
-one :class:`~repro.obs.metrics.MetricsRegistry`.  Exactly one bundle
+A :class:`Telemetry` bundles one :class:`~repro.obs.trace.Tracer`, one
+:class:`~repro.obs.metrics.MetricsRegistry`, and one
+:class:`~repro.obs.timeseries.SeriesRecorder`.  Exactly one bundle
 (or none) is *installed* at a time; instrumented components look the
 active bundle up **when they are constructed** — the same discipline as
 the :mod:`repro.perf` flags — so a campaign enables telemetry by
@@ -19,21 +20,24 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .metrics import MetricsRegistry
+from .timeseries import SeriesRecorder
 from .trace import NULL_TRACER, Tracer
 
 __all__ = ["Telemetry", "get", "install", "enabled", "tracer", "session"]
 
 
 class Telemetry:
-    """One tracer + one metrics registry, enabled as a unit."""
+    """One tracer + metrics registry + series recorder, enabled as a unit."""
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        series: Optional[SeriesRecorder] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.series = series if series is not None else SeriesRecorder()
 
 
 _active: Optional[Telemetry] = None

@@ -83,7 +83,13 @@ def _telemetry_point_job(fn: Callable[[Any], Any], spec: Any):
         result = fn(spec)
     finally:
         obs.install(previous)
-    return result, bundle.tracer.snapshot(), bundle.metrics.snapshot()
+    metric_snap = bundle.metrics.snapshot()
+    if len(bundle.series):
+        # Series windows ride inside the metrics snapshot so the
+        # (result, trace, metrics) transport triple keeps its shape;
+        # the merge loop pops the key back out before metrics.merge.
+        metric_snap["series"] = bundle.series.snapshot()
+    return result, bundle.tracer.snapshot(), metric_snap
 
 
 def _attempt_job(
@@ -468,7 +474,10 @@ class SweepRunner:
                         continue  # failed points contribute no telemetry
                     trace_snap, metric_snap = snaps
                     telemetry.tracer.ingest(trace_snap)
+                    series_snap = metric_snap.pop("series", None)
                     telemetry.metrics.merge(metric_snap)
+                    if series_snap is not None:
+                        telemetry.series.merge(series_snap)
 
         if self.progress:
             reporter.finish()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import (
     BlockIOError,
@@ -28,10 +28,32 @@ from repro.errors import (
     DriveError,
     WALSyncError,
 )
+from repro.obs import telemetry as obs
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S
 from repro.rng import ReproRandom, make_rng
 from repro.storage.kv.db import DB
 
-__all__ = ["ZipfianGenerator", "YcsbWorkload", "YcsbResult", "YcsbRunner", "WORKLOADS"]
+#: Service-op latency buckets: the KV fast path completes in tens of
+#: microseconds, far below the drive-level default buckets, so the
+#: service histogram prepends a sub-millisecond decade — otherwise a
+#: 10x retry-driven latency inflation hides inside the first bucket.
+SERVICE_LATENCY_BOUNDS_S = (
+    0.00001,
+    0.000025,
+    0.00005,
+    0.0001,
+    0.00025,
+) + DEFAULT_LATENCY_BUCKETS_S
+
+__all__ = [
+    "ZipfianGenerator",
+    "YcsbWorkload",
+    "YcsbResult",
+    "YcsbRunner",
+    "WORKLOADS",
+    "ServiceRunResult",
+    "run_service_attack",
+]
 
 _FATAL = (WALSyncError, DatabaseClosed, BlockIOError, DriveError)
 
@@ -131,6 +153,7 @@ class YcsbRunner:
         self.rng = rng if rng is not None else make_rng().fork("ycsb")
         self._zipf = ZipfianGenerator(record_count, rng=self.rng.fork("zipf"))
         self._inserted = 0
+        self._obs = obs.get()
 
     def _key(self, rank: int) -> bytes:
         return f"user{rank:012d}".encode()
@@ -158,12 +181,16 @@ class YcsbRunner:
             workload.read + workload.update + workload.insert,
             workload.read + workload.update + workload.insert + workload.rmw,
         )
+        tel = self._obs
+        op_start = start
         try:
             while clock.now - start < duration_s:
                 rank = min(self._zipf.next(), self._inserted - 1)
                 key = self._key(rank)
                 draw = self.rng.random()
                 result.ops += 1
+                if tel is not None:
+                    op_start = clock.now
                 if draw < thresholds[0]:
                     result.reads += 1
                     if self.db.get(key) is not None:
@@ -189,8 +216,157 @@ class YcsbRunner:
                         count += 1
                         if count >= workload.scan_length:
                             break
+                if tel is not None:
+                    done = clock.now
+                    latency = done - op_start
+                    tel.series.series(
+                        "service/latency", kind="hist", bounds=SERVICE_LATENCY_BOUNDS_S
+                    ).observe(done, latency)
+                    tel.series.record("service/ops_ok", done, 1.0)
+                    tel.metrics.histogram(
+                        "ycsb_op_latency_seconds",
+                        bounds=SERVICE_LATENCY_BOUNDS_S,
+                        description="Per-operation YCSB service latency.",
+                        workload=workload.name,
+                    ).observe(latency)
         except _FATAL as err:
             result.aborted = True
             result.abort_reason = str(err)
+            if tel is not None:
+                tel.series.record("service/ops_error", clock.now, 1.0)
+                tel.metrics.counter(
+                    "ycsb_op_errors_total",
+                    description="YCSB operations aborted by fatal storage errors.",
+                    workload=workload.name,
+                ).inc()
         result.elapsed_s = clock.now - start
         return result
+
+
+@dataclass
+class ServiceRunResult:
+    """Outcome of one :func:`run_service_attack` serving simulation."""
+
+    workload: str
+    attack_start_s: float = 0.0
+    attack_end_s: float = 0.0
+    total_s: float = 0.0
+    ops: int = 0
+    errors: int = 0
+    downtime_s: float = 0.0
+    segments: List[YcsbResult] = field(default_factory=list)
+
+    @property
+    def attack_window(self) -> tuple:
+        """(start_s, end_s) for SLO attack-window accounting."""
+        return (self.attack_start_s, self.attack_end_s)
+
+
+def run_service_attack(
+    workload: YcsbWorkload,
+    warmup_s: float = 3.0,
+    attack_s: float = 4.0,
+    recovery_s: float = 3.0,
+    config=None,
+    record_count: int = 500,
+    value_size: int = 100,
+    seed: int = 1,
+    slice_s: float = 0.5,
+    sync_writes: bool = True,
+) -> ServiceRunResult:
+    """A long-running KV service with one acoustic attack window.
+
+    Builds a drive + filesystem + DB + paper coupling rig, loads the
+    store, then serves ``workload`` through three phases on one virtual
+    clock: warmup (quiet), attack (``config`` speaker on), recovery
+    (speaker off).  Time advances in ``slice_s`` serving slices; a slice
+    aborted by a fatal storage error counts as downtime — the clock is
+    advanced across the dead slice and every subsequent slice of the
+    phase records errors instead of silently stopping, which is what an
+    operator's availability accounting would see.
+
+    ``sync_writes`` (default on) opens the DB with per-put WAL syncs so
+    every write pays real drive latency — the configuration where
+    acoustic degradation shows up as windowed p99 inflation rather than
+    hiding in the write buffer until a background sync stalls.
+
+    With a telemetry bundle installed the per-op latency/throughput
+    series, the ``attack.on``/``attack.off`` tracer edges, and the
+    service counters come out the other end ready for
+    :func:`repro.obs.slo.evaluate_slo` and the dashboard.
+    """
+    from repro.core.attacker import AttackConfig
+    from repro.core.coupling import AttackCoupling
+    from repro.hdd.drive import HardDiskDrive
+    from repro.hdd.profiles import make_barracuda_profile
+    from repro.sim.clock import VirtualClock
+    from repro.storage.block import BlockDevice
+    from repro.storage.fs.filesystem import SimFS
+
+    if min(warmup_s, attack_s, recovery_s) < 0.0 or slice_s <= 0.0:
+        raise ConfigurationError("phase durations must be >= 0 and slice_s > 0")
+    attack_config = config if config is not None else AttackConfig()
+    tel = obs.get()
+
+    clock = VirtualClock()
+    rng = make_rng(seed)
+    drive = HardDiskDrive(
+        profile=make_barracuda_profile(), clock=clock, rng=rng.fork("drive")
+    )
+    from repro.storage.kv.db import Options
+
+    fs = SimFS.mkfs(BlockDevice(drive))
+    db = DB.open(
+        fs, "/service", options=Options(sync_writes=sync_writes), rng=rng.fork("db")
+    )
+    runner = YcsbRunner(
+        db, record_count=record_count, value_size=value_size, rng=rng.fork("ycsb")
+    )
+    runner.load()
+    coupling = AttackCoupling.paper_setup()
+
+    outcome = ServiceRunResult(workload=workload.name)
+
+    def _serve(until: float) -> None:
+        while clock.now < until - 1e-9:
+            segment_start = clock.now
+            segment = runner.run(workload, min(slice_s, until - clock.now))
+            outcome.segments.append(segment)
+            outcome.ops += segment.ops
+            if segment.aborted:
+                outcome.errors += 1
+                # A dead slice serves nothing; push the clock to the
+                # slice boundary so downtime elapses instead of looping.
+                remainder = segment_start + slice_s - clock.now
+                if remainder > 0.0:
+                    clock.advance(min(remainder, until - clock.now))
+                outcome.downtime_s += clock.now - segment_start
+
+    # Phase ends are relative to the live clock: the load phase and any
+    # blocked op advance virtual time, and each phase still deserves its
+    # full serving duration (most importantly recovery — the SLO
+    # time-to-recover is meaningless if the attack overshoot ate it).
+    _serve(clock.now + warmup_s)
+
+    outcome.attack_start_s = clock.now
+    coupling.apply(drive, attack_config)
+    if tel is not None:
+        tel.tracer.instant(
+            "attack.on",
+            clock.now,
+            category="attack",
+            args={
+                "frequency_hz": attack_config.frequency_hz,
+                "source_level_db": attack_config.source_level_db,
+            },
+        )
+    _serve(outcome.attack_start_s + attack_s)
+
+    outcome.attack_end_s = clock.now
+    coupling.apply(drive, None)
+    if tel is not None:
+        tel.tracer.instant("attack.off", clock.now, category="attack", args={})
+    _serve(outcome.attack_end_s + recovery_s)
+
+    outcome.total_s = clock.now
+    return outcome

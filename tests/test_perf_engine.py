@@ -299,6 +299,103 @@ class TestTelemetryOffIdentity:
             )
         assert digest_of(traced) == self.SWEEP_DIGEST
 
+    # -- PR 8: the series-instrumented paths, telemetry off -----------------
+
+    #: sha256 over three YCSB-over-KV segments (quiet/attacked/quiet),
+    #: measured on the tree before the time-series layer landed.
+    YCSB_DIGEST = "40b8dd668ca473dfb6f166bea2bae9d30a5ddc6fe355b7511bd4940f631e9476"
+    YCSB_DRAWS = 892
+    #: Table 3 ext4 watch at 140 dB / 0.01 m (deterministic crash path).
+    MON_DIGEST = "0f9dbc9e234b9b757d10c9c2e855ba95135bcb887a2c925d7ec235edb9e56589"
+    MON_DRAWS = 0
+    #: 5-bay rack probabilities at 140 dB / 0.05 m (pure physics).
+    RACK_DIGEST = "15c899ffa282e583f145ee332ed5cc1a3d967c92de133155982c6c218478d8ca"
+    RACK_DRAWS = 0
+
+    def test_ycsb_digest_and_draw_count_match_pre_series_tree(self):
+        import hashlib
+
+        from repro.core.attacker import AttackConfig
+        from repro.core.coupling import AttackCoupling
+        from repro.hdd.profiles import make_barracuda_profile
+        from repro.obs import telemetry as obs_telemetry
+        from repro.storage.block import BlockDevice
+        from repro.storage.fs import SimFS
+        from repro.storage.kv import DB
+        from repro.workloads.ycsb import WORKLOADS, YcsbRunner
+
+        assert obs_telemetry.get() is None, "telemetry leaked in from another test"
+        draws, patcher = self._counting_draws()
+        with patcher:
+            clock = VirtualClock()
+            rng = make_rng(11)
+            drive = HardDiskDrive(
+                profile=make_barracuda_profile(), clock=clock, rng=rng.fork("drive")
+            )
+            fs = SimFS.mkfs(BlockDevice(drive))
+            db = DB.open(fs, "/ycsb", rng=rng.fork("db"))
+            runner = YcsbRunner(
+                db, record_count=300, value_size=64, rng=rng.fork("ycsb")
+            )
+            runner.load()
+            coupling = AttackCoupling.paper_setup()
+            results = [runner.run(WORKLOADS["A"], 0.5)]
+            coupling.apply(drive, AttackConfig(650.0, 140.0, 0.12))
+            results.append(runner.run(WORKLOADS["A"], 0.5))
+            coupling.apply(drive, None)
+            results.append(runner.run(WORKLOADS["A"], 0.5))
+        rows = [
+            "%s,%d,%d,%d,%d,%d,%.9f,%d"
+            % (r.workload, r.ops, r.reads, r.writes, r.scans, r.found, r.elapsed_s, r.aborted)
+            for r in results
+        ]
+        rows.append("%.9f" % clock.now)
+        digest = hashlib.sha256("\n".join(rows).encode()).hexdigest()
+        assert digest == self.YCSB_DIGEST
+        assert draws["n"] == self.YCSB_DRAWS
+
+    def test_monitor_digest_and_draw_count_match_pre_series_tree(self):
+        import hashlib
+
+        from repro.core.attacker import AttackConfig
+        from repro.core.coupling import AttackCoupling
+        from repro.core.monitor import AvailabilityMonitor
+        from repro.experiments.apps import Ext4Victim
+
+        draws, patcher = self._counting_draws()
+        with patcher:
+            victim = Ext4Victim()
+            coupling = AttackCoupling.paper_setup()
+            coupling.apply(victim.drive, AttackConfig(650.0, 140.0, 0.01))
+            monitor = AvailabilityMonitor(victim.drive.clock)
+            report = monitor.watch(victim, deadline_s=120.0)
+        row = (
+            "survived"
+            if report is None
+            else "%s,%.9f,%s"
+            % (report.application, report.time_to_crash_s, report.error_output)
+        )
+        digest = hashlib.sha256(row.encode()).hexdigest()
+        assert digest == self.MON_DIGEST
+        assert draws["n"] == self.MON_DRAWS
+
+    def test_rack_digest_and_draw_count_match_pre_series_tree(self):
+        import hashlib
+
+        from repro.core.attacker import AttackConfig
+        from repro.core.fleet import DriveRack
+
+        draws, patcher = self._counting_draws()
+        with patcher:
+            rack = DriveRack(bays=5)
+            rack.apply_attack(AttackConfig(650.0, 140.0, 0.05))
+            pw = rack.write_success_probabilities()
+            pr = rack.read_success_probabilities()
+        rows = ["%d,%.12g,%.12g" % (b, pw[b], pr[b]) for b in sorted(pw)]
+        digest = hashlib.sha256("\n".join(rows).encode()).hexdigest()
+        assert digest == self.RACK_DIGEST
+        assert draws["n"] == self.RACK_DRAWS
+
 
 class TestSectorStore:
     def test_roundtrip_within_one_page(self):

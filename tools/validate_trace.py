@@ -1,19 +1,26 @@
-"""Validate a Chrome ``trace_event`` JSON file produced by ``--trace``.
+"""Validate telemetry artifacts: traces, series JSONL, dashboards.
 
-Checks the structural contract that Perfetto / ``chrome://tracing``
-relies on, so CI can gate the exporter without loading a UI:
+Dispatches on file extension so CI can gate every exporter with one
+tool:
 
-* top level is an object with a ``traceEvents`` list;
-* every event carries ``ph``/``pid``/``tid``/``name`` with the right
-  types, and ``ph`` is one of the phases the exporter emits
-  (``M`` metadata, ``X`` complete, ``i`` instant);
-* complete events have numeric non-negative ``ts``/``dur`` and a
-  ``cat``; instants have numeric ``ts`` and a valid scope ``s``;
-* every ``tid`` referenced by a span or instant has a matching
-  ``thread_name`` metadata event (the track registry).
+* ``*.json`` — Chrome ``trace_event`` documents from ``--trace``:
+  top level is an object with a ``traceEvents`` list; every event
+  carries ``ph``/``pid``/``tid``/``name`` with the right types and one
+  of the emitted phases (``M`` metadata, ``X`` complete, ``i``
+  instant); complete events have numeric non-negative ``ts``/``dur``
+  and a ``cat``; instants have numeric ``ts`` and a valid scope ``s``;
+  every ``tid`` referenced by a span or instant has a matching
+  ``thread_name`` metadata event.
+* ``*.jsonl`` — series dumps from ``--series-out``: every line is an
+  object with ``series``/``kind``/``window``/``t_s``/``interval_s``
+  and kind-appropriate aggregates, and within each series the window
+  indexes (hence timestamps) are strictly increasing.
+* ``*.html`` — dashboards from ``--dashboard-out``: the
+  ``dashboard-data`` JSON island parses, and its series points carry
+  monotonically increasing window timestamps.
 
 Usage:
-    python tools/validate_trace.py TRACE.json [TRACE2.json ...]
+    python tools/validate_trace.py ARTIFACT [ARTIFACT2 ...]
 
 Exits non-zero on the first malformed file, printing every violation
 found in it (capped at 20 lines).
@@ -99,13 +106,118 @@ def validate_trace(data) -> list:
     return errors
 
 
-def _validate_file(path: pathlib.Path) -> int:
+_VALUE_FIELDS = ("count", "sum", "min", "max", "last")
+_HIST_FIELDS = ("count", "sum", "counts")
+
+
+def validate_series_lines(lines) -> list:
+    """All structural violations in a ``--series-out`` JSONL dump."""
+    errors = []
+    last_window = {}
+    for n, line in enumerate(lines):
+        where = f"line {n + 1}"
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"{where}: invalid JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{where}: record must be an object")
+            continue
+        name = record.get("series")
+        kind = record.get("kind")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: 'series' must be a non-empty string")
+            continue
+        if kind not in ("value", "hist"):
+            errors.append(f"{where}: kind {kind!r} not in ['value', 'hist']")
+            continue
+        window = record.get("window")
+        if not isinstance(window, int):
+            errors.append(f"{where}: 'window' must be an integer index")
+            continue
+        interval = record.get("interval_s")
+        if not _is_number(interval) or interval <= 0:
+            errors.append(f"{where}: 'interval_s' must be a positive number")
+        t_s = record.get("t_s")
+        if not _is_number(t_s):
+            errors.append(f"{where}: 't_s' must be a number")
+        elif _is_number(interval) and interval > 0 and abs(t_s - window * interval) > 1e-9:
+            errors.append(
+                f"{where}: t_s {t_s} != window*interval {window * interval}"
+            )
+        fields = _VALUE_FIELDS if kind == "value" else _HIST_FIELDS
+        for fieldname in fields:
+            if fieldname not in record:
+                errors.append(f"{where}: {kind} record missing {fieldname!r}")
+        if kind == "hist" and not isinstance(record.get("counts"), list):
+            errors.append(f"{where}: 'counts' must be a list of bucket counts")
+        previous = last_window.get(name)
+        if previous is not None and window <= previous:
+            errors.append(
+                f"{where}: series {name!r} window {window} not after {previous} "
+                f"(window timestamps must be strictly increasing)"
+            )
+        last_window[name] = window
+    return errors
+
+
+def validate_dashboard(text: str) -> list:
+    """All structural violations in a ``--dashboard-out`` HTML report."""
+    errors = []
+    marker = 'id="dashboard-data">'
+    start = text.find(marker)
+    if start < 0:
+        return ["no dashboard-data JSON island found"]
+    end = text.find("</script>", start)
+    if end < 0:
+        return ["dashboard-data island is not terminated"]
+    island = text[start + len(marker):end]
     try:
-        data = json.loads(path.read_text())
-    except (OSError, ValueError) as exc:
-        print(f"{path}: unreadable or invalid JSON: {exc}", file=sys.stderr)
-        return 1
-    errors = validate_trace(data)
+        data = json.loads(island)
+    except ValueError as exc:
+        return [f"dashboard-data island is not valid JSON: {exc}"]
+    if not isinstance(data, dict):
+        return ["dashboard-data island must be a JSON object"]
+    series = data.get("series")
+    if not isinstance(series, list):
+        errors.append("island missing 'series' list")
+        series = []
+    for entry in series:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            errors.append("series entry missing a string 'name'")
+            continue
+        points = entry.get("points")
+        if not isinstance(points, list):
+            errors.append(f"series {entry['name']!r}: missing 'points' list")
+            continue
+        last_t = None
+        for point in points:
+            if (
+                not isinstance(point, list)
+                or len(point) != 2
+                or not _is_number(point[0])
+                or not _is_number(point[1])
+            ):
+                errors.append(f"series {entry['name']!r}: malformed point {point!r}")
+                break
+            if last_t is not None and point[0] <= last_t:
+                errors.append(
+                    f"series {entry['name']!r}: window timestamps not "
+                    f"strictly increasing at t={point[0]}"
+                )
+                break
+            last_t = point[0]
+    for window in data.get("attack_windows") or []:
+        if not isinstance(window, dict) or not _is_number(window.get("start_s")):
+            errors.append(f"malformed attack window {window!r}")
+    return errors
+
+
+def _report(path: pathlib.Path, errors: list, ok_line: str) -> int:
     if errors:
         for line in errors[:_MAX_ERRORS]:
             print(f"{path}: {line}", file=sys.stderr)
@@ -114,19 +226,55 @@ def _validate_file(path: pathlib.Path) -> int:
                 f"{path}: ... and {len(errors) - _MAX_ERRORS} more", file=sys.stderr
             )
         return 1
+    print(f"{path}: OK ({ok_line})")
+    return 0
+
+
+def _validate_file(path: pathlib.Path) -> int:
+    suffix = path.suffix.lower()
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"{path}: unreadable: {exc}", file=sys.stderr)
+        return 1
+
+    if suffix == ".jsonl":
+        lines = text.splitlines()
+        errors = validate_series_lines(lines)
+        if errors:
+            return _report(path, errors, "")
+        series = {json.loads(line)["series"] for line in lines if line.strip()}
+        windows = sum(1 for line in lines if line.strip())
+        return _report(path, [], f"{len(series)} series, {windows} windows")
+    if suffix in (".html", ".htm"):
+        return _report(path, validate_dashboard(text), "dashboard island")
+
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        print(f"{path}: invalid JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_trace(data)
+    if errors:
+        return _report(path, errors, "")
     events = data["traceEvents"]
     spans = sum(1 for e in events if e.get("ph") == "X")
     instants = sum(1 for e in events if e.get("ph") == "i")
     tracks = sum(1 for e in events if e.get("ph") == "M")
-    print(f"{path}: OK ({tracks} tracks, {spans} spans, {instants} instants)")
-    return 0
+    return _report(
+        path, [], f"{tracks} tracks, {spans} spans, {instants} instants"
+    )
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if not argv:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print("usage: python tools/validate_trace.py TRACE.json ...", file=sys.stderr)
+        print(
+            "usage: python tools/validate_trace.py ARTIFACT "
+            "(.json trace, .jsonl series, .html dashboard) ...",
+            file=sys.stderr,
+        )
         return 2
     for name in argv:
         status = _validate_file(pathlib.Path(name))
