@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help test smoke lint bench bench-json bench-fleet trace-smoke dashboard-smoke doctest docs docs-check
+.PHONY: help test smoke lint deepcheck bench bench-json bench-fleet trace-smoke dashboard-smoke doctest docs docs-check
 
 help:       ## list targets with their one-line descriptions
 	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -12,11 +12,15 @@ test:       ## full test suite
 smoke:      ## quick CI gate: everything but the full campaign runs
 	$(PYTHON) -m pytest -q -m "not slow"
 
-lint:       ## ruff if installed, else pyflakes, else a syntax check
+lint:       ## generic checker (ruff/pyflakes/syntax) + deepcheck
 	$(PYTHON) tools/lint.py
 
-doctest:    ## run the docstring examples (units, SPL algebra)
-	$(PYTHON) -m pytest -q --doctest-modules src/repro/units.py src/repro/acoustics/spl.py
+deepcheck:  ## repo-specific invariant linter (docs/STATIC_ANALYSIS.md)
+	$(PYTHON) tools/deepcheck
+	$(PYTHON) tools/deepcheck --self-test
+
+doctest:    ## run the docstring examples (units, SPL algebra, error taxonomy)
+	$(PYTHON) -m pytest -q --doctest-modules src/repro/units.py src/repro/acoustics/spl.py src/repro/errors.py
 
 docs:       ## regenerate docs/CLI.md from the argparse tree
 	$(PYTHON) tools/gen_cli_docs.py

@@ -9,11 +9,11 @@ run-to-run because everything underneath is seeded.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro import __version__
+from repro.runtime.progress import wall_clock
 
 __all__ = ["ReportOptions", "build_report"]
 
@@ -48,7 +48,7 @@ def build_report(options: Optional[ReportOptions] = None) -> str:
     from repro.experiments.table2 import run_table2
     from repro.experiments.table3 import run_table3
 
-    started = time.time()
+    started = wall_clock()
     parts: List[str] = [
         "# Deep Note reproduction report",
         "",
@@ -105,6 +105,6 @@ def build_report(options: Optional[ReportOptions] = None) -> str:
         parts.append(_section("Extension — attacker objectives", objective_table.render()))
 
     parts.append(
-        f"\n_Report generated in {time.time() - started:.1f} s of wall time._\n"
+        f"\n_Report generated in {wall_clock() - started:.1f} s of wall time._\n"
     )
     return "\n".join(parts)

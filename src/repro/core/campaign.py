@@ -102,7 +102,8 @@ class CampaignPlanner:
             plan = self.predict_tone(AttackConfig(frequency, level_db, distance_m))
             if best is None or plan.write_ratio > best.write_ratio:
                 best = plan
-        assert best is not None  # grid is never empty
+        if best is None:
+            raise ConfigurationError("best_tone needs a non-empty frequency grid")
         return best
 
     def best_tone_config(

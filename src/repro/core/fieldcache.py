@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro import perf
+from repro.errors import ConfigurationError
 
 __all__ = [
     "AcousticFieldCache",
@@ -75,7 +76,7 @@ class AcousticFieldCache:
 
     def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive: {capacity}")
+            raise ConfigurationError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
         self.stats = FieldCacheStats()
         self._lru: "OrderedDict[Tuple[str, object], float]" = OrderedDict()

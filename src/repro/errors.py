@@ -6,6 +6,52 @@ filesystem errors (journal aborts), and application errors (WAL sync
 failure in the key-value store).  Error numbers follow the Linux errno
 convention where the paper reports one (JBD aborts with error ``-5``,
 i.e. ``-EIO``).
+
+Choosing an error type
+----------------------
+
+Validation failures raise the *narrowest* matching type, never a bare
+builtin — deepcheck rule DC05 enforces this across ``src/`` because the
+retry policy, the degradation path, and the incident reporter all
+dispatch on exception type.  The recipes:
+
+A component wired with invalid parameters raises
+:class:`ConfigurationError` (it subclasses only :class:`ReproError`, so
+it is never mistaken for a simulated failure):
+
+    >>> from repro.sim.clock import VirtualClock
+    >>> VirtualClock(start=-1.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: clock cannot start negative: -1.0
+
+A physical quantity outside its meaningful domain raises
+:class:`UnitError`, which also subclasses :class:`ValueError` so
+numeric call sites can keep a generic handler:
+
+    >>> from repro.units import rpm_to_rev_time
+    >>> rpm_to_rev_time(0.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.UnitError: spindle speed must be positive, got 0.0
+    >>> issubclass(UnitError, ValueError)
+    True
+
+Simulated failures carry their Linux errno where the paper reports one,
+so assertions about kernel-visible behaviour read like the dmesg lines
+they reproduce:
+
+    >>> MediumError.errno == EIO
+    True
+    >>> BlockIOError("Buffer I/O error on dev sda, logical block 0").errno
+    5
+    >>> JournalAbort("journal commit I/O error").code
+    -5
+
+Internal "can't happen" states are not asserts (stripped under
+``python -O``) — they raise :class:`ConfigurationError` with a message
+naming the impossible input, as in ``Shell._dispatch`` and
+``AttackCampaign.best_tone``.
 """
 
 from __future__ import annotations

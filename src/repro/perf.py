@@ -32,9 +32,12 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Dict, Iterator
+
+from repro.errors import ConfigurationError
 
 __all__ = [
+    "ENV_FLAGS",
     "servo_cache_enabled",
     "io_fast_path_enabled",
     "vec_physics_enabled",
@@ -48,8 +51,24 @@ __all__ = [
 
 _FALSE = {"0", "false", "no", "off"}
 
+#: Registry of every ``REPRO_*`` environment switch the package reads,
+#: with a one-line description.  This is the source of truth deepcheck's
+#: DC08 rule checks env reads against: a flag read anywhere in ``src/``
+#: whose name is missing here fails ``make deepcheck``, so there can be
+#: no invisible knobs the before/after benchmark harness cannot list.
+ENV_FLAGS: Dict[str, str] = {
+    "REPRO_SERVO_CACHE": "servo/modal transfer-function memoization",
+    "REPRO_IO_FAST_PATH": "controller fast path + geometry locate cache",
+    "REPRO_VEC_PHYSICS": "numpy-vectorized physics kernels",
+    "REPRO_FIELD_CACHE": "shared acoustic-field memo cache",
+}
+
 
 def _env_flag(name: str, default: bool = True) -> bool:
+    if name not in ENV_FLAGS:
+        raise ConfigurationError(
+            f"undeclared env flag {name!r}: add it to repro.perf.ENV_FLAGS"
+        )
     raw = os.environ.get(name)
     if raw is None:
         return default

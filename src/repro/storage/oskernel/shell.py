@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from repro.errors import (
     BlockIOError,
+    ConfigurationError,
     FileNotFound,
     FilesystemError,
     KernelPanic,
@@ -102,7 +103,7 @@ class Shell:
         if name == "sync":
             self.fs.sync()
             return CommandResult(command, 0)
-        raise AssertionError(f"unhandled command {name}")  # pragma: no cover
+        raise ConfigurationError(f"unhandled command {name}")  # pragma: no cover
 
     def _done(self, result: CommandResult) -> CommandResult:
         self.history.append(result)

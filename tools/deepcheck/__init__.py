@@ -1,0 +1,38 @@
+"""deepcheck — AST-based invariant linter for the Deep Note reproduction.
+
+Generic linters catch undefined names; they cannot know that this
+codebase promises byte-identical Figure 2 CSVs at any ``--workers``
+count, bit-identical output with telemetry off, and kill-anywhere
+``--resume``.  Those claims rest on coding invariants (virtual clock
+only, label-forked RNG, sorted merges, guarded telemetry) that one
+careless ``time.time()`` silently breaks — the way one resonant tone
+silently breaks a drive.  deepcheck turns each invariant into a
+machine-checked rule with an ID, a rationale, and a precise scope.
+
+Usage (from the repo root)::
+
+    python tools/deepcheck                 # gate src/ against the baseline
+    python tools/deepcheck --list-rules    # the rule catalog
+    python tools/deepcheck --self-test     # run the good/bad corpus
+
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalog and the
+suppression / baseline workflow.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .baseline import Baseline  # noqa: E402,F401
+from .engine import Engine, Finding, check_source  # noqa: E402,F401
+from .rules import ALL_RULES, rule_catalog  # noqa: E402,F401
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Engine",
+    "Finding",
+    "check_source",
+    "rule_catalog",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Entry point so ``python tools/deepcheck`` works from the repo root.
+
+When executed as a directory (``python tools/deepcheck``), Python puts
+the *package directory* on ``sys.path`` instead of its parent, so the
+package is not importable by name; fix the path up before importing.
+"""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # executed as `python tools/deepcheck`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from deepcheck.cli import main
+else:  # executed as `python -m deepcheck`
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the gate turn on strict from day one without blocking
+on every historical finding at once: known findings are recorded with a
+*reason* and matched content-wise (rule, path, stripped source line), so
+they survive unrelated edits shifting line numbers but expire the moment
+the offending line changes or moves files.
+
+Policy: the baseline is for *justified* findings only — every entry
+must carry a reason a reviewer would accept.  New code never gets new
+baseline entries; it uses inline suppressions (which live next to the
+code) or gets fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import Finding
+
+_FORMAT_VERSION = 1
+
+
+def _key(rule: str, path: str, snippet: str) -> Tuple[str, str, str]:
+    return (rule, path, " ".join(snippet.split()))
+
+
+@dataclass
+class Baseline:
+    """Content-matched set of accepted findings."""
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(entries=list(data.get("findings", [])))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered deepcheck findings. Every entry needs a "
+                "'reason'. Matched on (rule, path, normalized line), so an "
+                "entry expires when its line is edited. Do not add entries "
+                "for new code — fix it or use an inline suppression."
+            ),
+            "findings": self.entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], reason: str = "grandfathered at introduction"
+    ) -> "Baseline":
+        counts: Counter = Counter()
+        order: List[Finding] = []
+        for finding in findings:
+            key = _key(finding.rule, finding.path, finding.snippet)
+            if counts[key] == 0:
+                order.append(finding)
+            counts[key] += 1
+        entries = []
+        for finding in order:
+            key = _key(finding.rule, finding.path, finding.snippet)
+            entry: Dict[str, object] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": " ".join(finding.snippet.split()),
+                "reason": reason,
+            }
+            if counts[key] > 1:
+                entry["count"] = counts[key]
+            entries.append(entry)
+        return cls(entries=entries)
+
+    # -- filtering ---------------------------------------------------------
+
+    def split(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Partition into (new, baselined) findings plus stale entries.
+
+        A baseline entry absorbs up to ``count`` (default 1) findings with
+        the same rule, path, and normalized line content.  Entries that
+        absorb nothing are *stale* — the code they excused is gone, and
+        they should be deleted.
+        """
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = _key(
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("snippet", "")),
+            )
+            budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+        used: Counter = Counter()
+        new: List[Finding] = []
+        absorbed: List[Finding] = []
+        for finding in findings:
+            key = _key(finding.rule, finding.path, finding.snippet)
+            if used[key] < budget.get(key, 0):
+                used[key] += 1
+                absorbed.append(finding)
+            else:
+                new.append(finding)
+        stale = []
+        for entry in self.entries:
+            key = _key(
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("snippet", "")),
+            )
+            if used[key] == 0:
+                stale.append(entry)
+        return new, absorbed, stale

@@ -1,0 +1,7 @@
+"""Corpus DC01 bad: reads the wall clock inside simulation code."""
+
+import time
+
+
+def elapsed_wall_seconds(start: float) -> float:
+    return time.time() - start

@@ -1,0 +1,5 @@
+"""Corpus DC01 good: durations come from the injected virtual clock."""
+
+
+def elapsed_sim_seconds(clock, start_s: float) -> float:
+    return clock.now - start_s

@@ -1,0 +1,11 @@
+"""Corpus DC02 bad: global random module and an OS-entropy-seeded Random."""
+
+import random
+
+
+def jitter(scale: float) -> float:
+    return scale * random.uniform(0.0, 1.0)
+
+
+def make_stream():
+    return random.Random()

@@ -1,0 +1,9 @@
+"""Corpus DC02 good: randomness arrives as a label-forked stream."""
+
+
+def jitter(rng, scale: float) -> float:
+    return scale * rng.uniform(0.0, 1.0)
+
+
+def make_stream(parent_rng):
+    return parent_rng.fork("jitter")

@@ -1,0 +1,14 @@
+"""Corpus DC03 bad: filesystem order and set-view algebra reach output."""
+
+import os
+
+
+def snapshot_names(root: str) -> list:
+    names = []
+    for name in os.listdir(root):
+        names.append(name)
+    return names
+
+
+def merged_keys(a: dict, b: dict) -> list:
+    return list(a.keys() | b.keys())

@@ -1,0 +1,11 @@
+"""Corpus DC03 good: every unordered source is sorted before use."""
+
+import os
+
+
+def snapshot_names(root: str) -> list:
+    return sorted(os.listdir(root))
+
+
+def merged_keys(a: dict, b: dict) -> list:
+    return sorted(a.keys() | b.keys())

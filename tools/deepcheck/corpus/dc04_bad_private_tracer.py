@@ -1,0 +1,8 @@
+"""Corpus DC04 bad: a hot-path component builds its own telemetry."""
+
+from repro.obs.trace import Tracer
+
+
+class DriveProbe:
+    def __init__(self) -> None:
+        self._tracer = Tracer()

@@ -1,0 +1,12 @@
+"""Corpus DC04 good: capture the installed bundle once, guard every use."""
+
+from repro.obs import telemetry as obs
+
+
+class DriveProbe:
+    def __init__(self) -> None:
+        self._obs = obs.get()
+
+    def record(self, name: str, value: float) -> None:
+        if self._obs is not None:
+            self._obs.metrics.counter(name).inc(value)

@@ -1,0 +1,8 @@
+"""Corpus DC05 bad: assert-for-validation and a bare builtin raise."""
+
+
+def check_capacity(capacity: int) -> int:
+    assert capacity > 0, "capacity must be positive"
+    if capacity > (1 << 20):
+        raise ValueError("capacity too large")
+    return capacity

@@ -1,0 +1,9 @@
+"""Corpus DC05 good: validation failures use the repro.errors hierarchy."""
+
+from repro.errors import ConfigurationError
+
+
+def check_capacity(capacity: int) -> int:
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive: {capacity}")
+    return capacity

@@ -1,0 +1,5 @@
+"""Corpus DC06 bad: float accumulation over an unordered collection."""
+
+
+def total_displacement(samples: list) -> float:
+    return sum(set(samples))

@@ -1,0 +1,5 @@
+"""Corpus DC06 good: deduplicate, then sum in sorted order."""
+
+
+def total_displacement(samples: list) -> float:
+    return sum(sorted(set(samples)))

@@ -1,0 +1,5 @@
+"""Corpus DC07 bad: seconds plus milliseconds without a conversion."""
+
+
+def window_end(start_s: float, duration_ms: float) -> float:
+    return start_s + duration_ms

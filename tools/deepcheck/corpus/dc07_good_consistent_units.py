@@ -1,0 +1,5 @@
+"""Corpus DC07 good: operands share one unit suffix."""
+
+
+def window_end(start_s: float, duration_s: float) -> float:
+    return start_s + duration_s

@@ -1,0 +1,5 @@
+"""Corpus DC08 bad: a REPRO_* switch read without being declared."""
+
+import os
+
+DEBUG_DUMP = os.environ.get("REPRO_DEBUG_DUMP", "0") == "1"

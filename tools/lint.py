@@ -1,18 +1,25 @@
 #!/usr/bin/env python
-"""Lint the codebase with whatever checker this machine has.
+"""Lint the codebase: a generic checker plus the repo-specific deepcheck.
 
-Tries, in order of decreasing strictness, and uses the first available:
+Stage 1 (generic) tries, in order of decreasing strictness, and uses the
+first available — or the one forced with ``--checker``:
 
 1. ``ruff check`` — fast and broad;
 2. ``pyflakes`` — undefined names, unused imports;
 3. ``compileall`` — bare syntax check, always available.
 
-Exit status is the checker's, so ``make lint`` and CI can gate on it
-without requiring any particular tool to be installed.
+Stage 2 runs ``deepcheck`` (tools/deepcheck), the AST-based invariant
+linter enforcing determinism, clock, RNG, and telemetry discipline (see
+docs/STATIC_ANALYSIS.md).  Skip it with ``--no-deepcheck``.
+
+The selected checker and its version are printed to stderr so CI logs
+are unambiguous about what actually gated.  Exit status is the worst of
+both stages.
 """
 
 from __future__ import annotations
 
+import argparse
 import compileall
 import importlib.util
 import subprocess
@@ -21,6 +28,11 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 TARGETS = ["src", "tests", "benchmarks", "tools", "examples"]
+
+#: Deepcheck's rule-violation corpus is linted by deepcheck's own
+#: self-test, not by the generic checkers (its snippets intentionally
+#: contain code a strict linter may dislike).
+GENERIC_EXCLUDE = Path("tools") / "deepcheck" / "corpus"
 
 
 def _existing_targets() -> list[str]:
@@ -32,17 +44,106 @@ def _run(argv: list[str]) -> int:
     return subprocess.run(argv, cwd=ROOT).returncode
 
 
-def main() -> int:
-    targets = _existing_targets()
+def _dist_version(name: str) -> str:
+    try:
+        from importlib.metadata import version
+
+        return version(name)
+    except Exception:
+        return "unknown version"
+
+
+def _announce(checker: str, version: str) -> None:
+    print(f"lint: generic checker = {checker} ({version})", file=sys.stderr)
+
+
+def _python_files(targets: list[str]) -> list[str]:
+    """Every .py path under the targets, minus the deepcheck corpus."""
+    files: list[str] = []
+    for target in targets:
+        for path in sorted((ROOT / target).rglob("*.py")):
+            rel = path.relative_to(ROOT)
+            if GENERIC_EXCLUDE in rel.parents:
+                continue
+            files.append(str(rel))
+    return files
+
+
+def _pick_checker(requested: str) -> str:
+    if requested != "auto":
+        return requested
     if importlib.util.find_spec("ruff") is not None:
-        return _run([sys.executable, "-m", "ruff", "check", *targets])
+        return "ruff"
     if importlib.util.find_spec("pyflakes") is not None:
-        return _run([sys.executable, "-m", "pyflakes", *targets])
-    print("no ruff/pyflakes found; falling back to a syntax check", file=sys.stderr)
-    ok = all(
-        compileall.compile_dir(str(ROOT / t), quiet=1, force=True) for t in targets
+        return "pyflakes"
+    return "compileall"
+
+
+def run_generic(checker: str) -> int:
+    targets = _existing_targets()
+    if checker == "none":
+        print("lint: generic checker skipped (--checker none)", file=sys.stderr)
+        return 0
+    if checker == "ruff":
+        if importlib.util.find_spec("ruff") is None:
+            print("lint: ruff requested but not installed", file=sys.stderr)
+            return 2
+        _announce("ruff", _dist_version("ruff"))
+        return _run(
+            [
+                sys.executable,
+                "-m",
+                "ruff",
+                "check",
+                "--exclude",
+                str(GENERIC_EXCLUDE),
+                *targets,
+            ]
+        )
+    if checker == "pyflakes":
+        if importlib.util.find_spec("pyflakes") is None:
+            print("lint: pyflakes requested but not installed", file=sys.stderr)
+            return 2
+        _announce("pyflakes", _dist_version("pyflakes"))
+        return _run([sys.executable, "-m", "pyflakes", *_python_files(targets)])
+    if checker == "compileall":
+        _announce("compileall", f"python {sys.version.split()[0]}")
+        ok = all(
+            compileall.compile_dir(str(ROOT / t), quiet=1, force=True)
+            for t in targets
+        )
+        return 0 if ok else 1
+    print(f"lint: unknown checker {checker!r}", file=sys.stderr)
+    return 2
+
+
+def run_deepcheck() -> int:
+    sys.path.insert(0, str(ROOT / "tools"))
+    from deepcheck import __version__ as deepcheck_version
+    from deepcheck.cli import main as deepcheck_main
+
+    print(f"lint: repo checker = deepcheck ({deepcheck_version})", file=sys.stderr)
+    return deepcheck_main([])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--checker",
+        choices=("auto", "ruff", "pyflakes", "compileall", "none"),
+        default="auto",
+        help="generic checker to use (default: best available)",
     )
-    return 0 if ok else 1
+    parser.add_argument(
+        "--no-deepcheck",
+        action="store_true",
+        help="skip the repo-specific invariant linter",
+    )
+    args = parser.parse_args(argv)
+
+    generic_status = run_generic(_pick_checker(args.checker))
+    deepcheck_status = 0 if args.no_deepcheck else run_deepcheck()
+    return max(generic_status, deepcheck_status)
 
 
 if __name__ == "__main__":
