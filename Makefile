@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help test smoke lint deepcheck bench bench-json bench-fleet trace-smoke dashboard-smoke doctest docs docs-check
+.PHONY: help test smoke lint deepcheck bench bench-json bench-fleet bench-fleet-sim trace-smoke dashboard-smoke fleet-smoke doctest docs docs-check
 
 help:       ## list targets with their one-line descriptions
 	@awk -F':.*##' '/^[a-z-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -31,11 +31,14 @@ docs-check: ## CI gate: fail if docs/CLI.md is stale
 bench:      ## paper-scale benchmarks (writes results/*.txt)
 	$(PYTHON) -m pytest -q benchmarks
 
-bench-json: ## machine-readable perf trajectory (writes BENCH_PR7.json)
-	$(PYTHON) tools/bench_json.py --out BENCH_PR7.json
+bench-json: ## machine-readable perf trajectory (writes BENCH_PR10.json)
+	$(PYTHON) tools/bench_json.py --out BENCH_PR10.json
 
 bench-fleet: ## batched rack sweep vs scalar loop only (writes BENCH_FLEET.json)
 	$(PYTHON) tools/bench_json.py --quick --only fleet --out BENCH_FLEET.json
+
+bench-fleet-sim: ## event-loop fleet campaign gate only (writes BENCH_FLEETSIM.json)
+	$(PYTHON) tools/bench_json.py --quick --only fleetsim --out BENCH_FLEETSIM.json
 
 trace-smoke: ## tiny traced sweep + trace schema validation
 	$(PYTHON) -m repro.cli figure2 --runtime 0.2 --seed 7 \
@@ -47,3 +50,8 @@ dashboard-smoke: ## tiny attacked YCSB run + series/dashboard validation
 		--records 150 --slo 'p99<25ms,avail>=99.9' \
 		--series-out series.jsonl --dashboard-out dashboard.html > /dev/null
 	$(PYTHON) tools/validate_trace.py series.jsonl dashboard.html
+
+fleet-smoke: ## small sharded fleet campaign + series validation
+	$(PYTHON) -m repro.cli fleet --racks 2 --towers 5 --duration 12 \
+		--rate 40 --workers 2 --series-out fleet-series.jsonl > /dev/null
+	$(PYTHON) tools/validate_trace.py fleet-series.jsonl

@@ -1,99 +1,81 @@
 #!/usr/bin/env python3
-"""Attack a running underwater "data center" node end to end.
+"""Attack a whole underwater datacenter as one discrete-event campaign.
 
-This is the paper's headline scenario writ small: an Ubuntu-class
-server with an Ext4 root filesystem and a RocksDB-like database serving
-a key-value workload, all inside a submerged container.  The attacker
-sweeps for a vulnerable frequency, then holds the best tone until the
-whole software stack crashes — filesystem, OS, and database — exactly
-the cascade of Table 3.  A rack-level prologue shows the same tone
-degrading every bay of a storage tower at once (the common-mode
-property), evaluated through the batched fleet kernels.
+This is the paper's headline scenario at fleet scale: 4 racks x 50
+storage towers x 5 bays = 1000 drives behind submerged container walls,
+serving an open-loop host workload, while a speaker holds the
+vulnerable tone for a 30-second window.  Everything — attack edges,
+service ticks, RAID rebuilds, health monitors — runs as events on one
+deterministic :class:`repro.sim.EventScheduler` (docs/SIMULATION.md);
+the fleet topology and availability accounting come from
+:class:`repro.core.fleet.FleetSim` (docs/FLEET.md).
+
+Three things to notice:
+
+* **physics once per rack** — every tower shares the rack's wall and
+  water column, so each attack edge evaluates the batched vecphys
+  kernels on one reference tower and broadcasts to all 250 drives;
+* **common-mode failure** — when the tone stalls a bay it stalls that
+  bay in *every* tower of the rack at once, so RAID's independent-
+  failure math buys far less than on mechanical faults;
+* **determinism** — the per-rack outcomes are a pure function of
+  (FleetSpec, rack index); re-run the script and every number is
+  byte-identical (`deepnote fleet` shards the same campaign across
+  worker processes with identical results).
 
 Run:  python examples/datacenter_attack.py
 """
 
-from repro import perf, vecphys
-from repro.core.attacker import AttackConfig
-from repro.core.coupling import AttackCoupling
-from repro.core.fleet import DriveRack
-from repro.core.monitor import AvailabilityMonitor
-from repro.core.scenario import Scenario
-from repro.experiments.apps import Ext4Victim, RocksDBVictim, UbuntuVictim
-from repro.hdd.profiles import BARRACUDA_500GB
-from repro.hdd.servo import OpKind
+from repro.core.fleet import AttackWindow, FleetSim, FleetSpec
 
-SWEEP_GRID = [float(f) for f in range(100, 4001, 50)]
-
-
-def find_vulnerable_tone(coupling: AttackCoupling) -> float:
-    """Step 1 — reconnaissance sweep (Section 3's frequency sweep).
-
-    The attacker predicts (or remotely observes) which tones disturb
-    the target; here we use the physical model directly, as an attacker
-    studying an identical drive would.  With numpy present the whole
-    grid evaluates in one :func:`repro.vecphys.sweep_surface` call
-    (bit-identical to the scalar loop below).
-    """
-    servo = BARRACUDA_500GB.servo
-    base = AttackConfig(frequency_hz=650.0, source_level_db=140.0, distance_m=0.01)
-    threshold = servo.threshold_m(OpKind.WRITE)
-    if perf.vec_physics_enabled() and vecphys.available():
-        surface = vecphys.sweep_surface(coupling, base, SWEEP_GRID, servo=servo)
-        ratios = [offtrack / threshold for offtrack in surface["offtrack_m"].tolist()]
-    else:
-        ratios = []
-        for freq in SWEEP_GRID:
-            vibration = coupling.vibration_at_drive(base.at_frequency(freq))
-            ratios.append(servo.offtrack_amplitude_m(vibration) / threshold)
-    best_freq, best_ratio = 0.0, 0.0
-    for freq, ratio in zip(SWEEP_GRID, ratios):
-        if ratio > best_ratio:
-            best_freq, best_ratio = freq, ratio
-    print(f"sweep: best tone {best_freq:.0f} Hz (predicted off-track ratio {best_ratio:.1f}x)")
-    return best_freq
-
-
-def rack_view(tone: float) -> None:
-    """Step 0 — why this matters at datacenter scale.
-
-    One speaker, one wall, five bays: the shared source/water/wall
-    stage is computed once per rack call and broadcast across bays, so
-    scanning a whole tower costs barely more than scanning one drive.
-    """
-    rack = DriveRack(bays=5)
-    config = AttackConfig(frequency_hz=tone, source_level_db=140.0, distance_m=0.01)
-    rack.apply_attack(config)
-    probabilities = rack.write_success_probabilities()
-    summary = ", ".join(
-        f"bay{bay}={p:.3f}" for bay, p in sorted(probabilities.items())
-    )
-    print(f"rack view at {tone:.0f} Hz: p(write) {summary}")
-    print(f"  stalled: {rack.stalled_bays()}  healthy: {rack.healthy_bays()}")
+# The campaign: a minute of virtual serving time, with the paper's
+# 650 Hz tone held at 139 dB from 5 cm for t=10s..40s.
+SPEC = FleetSpec(
+    racks=4,
+    towers_per_rack=50,
+    bays=5,
+    raid="raid5",
+    duration_s=60.0,
+    request_rate_hz=200.0,
+    attacks=(
+        AttackWindow(
+            start_s=10.0,
+            duration_s=30.0,
+            frequency_hz=650.0,
+            source_level_db=139.0,
+            distance_m=0.05,
+        ),
+    ),
+    seed=7,
+)
 
 
 def main() -> None:
-    coupling = AttackCoupling.paper_setup(Scenario.scenario_2())
-    tone = find_vulnerable_tone(coupling)
-    rack_view(tone)
+    sim = FleetSim(SPEC)
+    queued = len(sim.scheduler.queue)
+    print(
+        f"fleet: {SPEC.racks} racks x {SPEC.towers_per_rack} towers x "
+        f"{SPEC.bays} bays = {SPEC.drive_count} drives, "
+        f"{queued} events queued on one scheduler\n"
+    )
+    result = sim.run()
+    print(result.render())
 
-    print("\nstep 2 — hold the tone and watch the stack die:")
-    victims = [Ext4Victim(), UbuntuVictim(), RocksDBVictim()]
-    config = AttackConfig(frequency_hz=tone, source_level_db=140.0, distance_m=0.01)
-    for victim in victims:
-        coupling.apply(victim.drive, config)
-        monitor = AvailabilityMonitor(victim.drive.clock)
-        report = monitor.watch(victim, deadline_s=240.0)
-        if report is None:
-            print(f"  {victim.name:<8} survived the attack window")
-        else:
-            print(f"  {victim.name:<8} crashed after {report.time_to_crash_s:6.1f} s "
-                  f"— {report.error_output[:80]}")
-
-    print("\nThe dmesg trail on the Ubuntu victim:")
-    ubuntu = victims[1]
-    for entry in ubuntu.kernel.dmesg.tail(5):
-        print(f"  {entry}")
+    window = SPEC.attacks[0]
+    quiet_ops = sum(o.ops for o in result.outcomes) * (
+        1.0 - window.duration_s / SPEC.duration_s
+    )
+    print(
+        f"\nthe {window.frequency_hz:.0f} Hz window turned "
+        f"{100.0 * (1.0 - result.availability()):.1f}% of {result.ops} host "
+        f"requests into errors ({quiet_ops:.0f} ops ran outside the window); "
+        f"{sum(o.rebuilds for o in result.outcomes)} RAID members rebuilt "
+        f"after the tone lifted."
+    )
+    print(
+        f"scheduler fired {sim.scheduler.fired} events to "
+        f"{sim.scheduler.now:.0f}s virtual time."
+    )
 
 
 if __name__ == "__main__":

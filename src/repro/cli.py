@@ -206,6 +206,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_telemetry_flags(rack)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale datacenter attack campaign on one event scheduler",
+    )
+    fleet.add_argument("--racks", type=int, default=4, help="racks in the fleet")
+    fleet.add_argument(
+        "--towers", type=int, default=50, help="storage towers per rack"
+    )
+    fleet.add_argument("--bays", type=int, default=5, help="drive bays per tower")
+    fleet.add_argument(
+        "--raid", choices=("none", "raid0", "raid1", "raid5"), default="raid5",
+        help="RAID layout of each tower's bays",
+    )
+    fleet.add_argument("--metal", action="store_true", help="aluminum container")
+    fleet.add_argument(
+        "--duration", type=float, default=60.0, help="campaign virtual seconds"
+    )
+    fleet.add_argument(
+        "--rate", type=float, default=200.0, help="host requests/s per rack"
+    )
+    fleet.add_argument(
+        "--write-frac", type=float, default=0.5, help="fraction of requests that write"
+    )
+    fleet.add_argument(
+        "--tick", type=float, default=0.5, help="service batch interval, seconds"
+    )
+    fleet.add_argument(
+        "--rebuild", type=float, default=10.0,
+        help="seconds to rebuild a failed member after the attack lifts",
+    )
+    fleet.add_argument(
+        "--attack", action="append", default=None, metavar="SPEC",
+        help=(
+            "attack window START+DUR@FREQ[/LEVEL[/DIST]] "
+            "(repeatable; default 10+30@650/139/0.12)"
+        ),
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    add_runner_flags(fleet)
+
     ycsb = sub.add_parser(
         "ycsb", help="YCSB serving simulation with one acoustic attack window"
     )
@@ -452,6 +492,39 @@ def _cmd_rack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.fleet import AttackWindow, FleetSim, FleetSpec, run_fleet
+    from repro.obs import telemetry as obs_telemetry
+
+    attack_specs = args.attack if args.attack else ["10+30@650/139/0.12"]
+    spec = FleetSpec(
+        racks=args.racks,
+        towers_per_rack=args.towers,
+        bays=args.bays,
+        raid=args.raid,
+        metal=args.metal,
+        duration_s=args.duration,
+        request_rate_hz=args.rate,
+        write_fraction=args.write_frac,
+        service_tick_s=args.tick,
+        rebuild_s=args.rebuild,
+        seed=args.seed,
+        attacks=tuple(AttackWindow.parse(text) for text in attack_specs),
+    )
+    runner = _campaign_runner(args, "fleet/v1", spec)
+    if runner is None:
+        # The canonical path: the whole fleet on one EventScheduler.
+        sim = FleetSim(spec)
+        tel = obs_telemetry.get()
+        if tel is not None and sim.tracker is not None:
+            tel.health = sim.tracker  # picked up by main() for the dashboard
+        result = sim.run()
+    else:
+        result = run_fleet(spec, runner=runner)
+    print(result.render())
+    return 0
+
+
 def _cmd_ycsb(args: argparse.Namespace) -> int:
     from repro.core.attacker import AttackConfig
     from repro.obs import telemetry as obs_telemetry
@@ -569,6 +642,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "predict": _cmd_predict,
     "rack": _cmd_rack,
+    "fleet": _cmd_fleet,
     "ycsb": _cmd_ycsb,
     "smart": _cmd_smart,
     "report": _cmd_report,

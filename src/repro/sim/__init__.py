@@ -1,6 +1,31 @@
-"""Deterministic simulation substrate: virtual clock and event queue."""
+"""Deterministic simulation substrate: virtual clock and event engine.
+
+The event-loop model — ordering, tie-breaking, the determinism
+contract, actor lifecycle — is documented in ``docs/SIMULATION.md``.
+"""
 
 from .clock import VirtualClock
-from .events import Event, EventQueue, Simulator
+from .events import (
+    LANE_ATTACK,
+    LANE_DEFAULT,
+    LANE_MONITOR,
+    LANE_REPAIR,
+    LANE_SERVICE,
+    Event,
+    EventQueue,
+    EventScheduler,
+    Simulator,
+)
 
-__all__ = ["VirtualClock", "Event", "EventQueue", "Simulator"]
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "EventScheduler",
+    "LANE_ATTACK",
+    "LANE_SERVICE",
+    "LANE_DEFAULT",
+    "LANE_REPAIR",
+    "LANE_MONITOR",
+]

@@ -1,4 +1,4 @@
-"""Machine-readable performance trajectory: writes BENCH_PR7.json.
+"""Machine-readable performance trajectory: writes BENCH_PR10.json.
 
 Times the hot-path I/O engine against three baselines:
 
@@ -28,7 +28,15 @@ vectorized kernel disabled (servo cache and fast path stay on — the
 PR3 configuration re-measured on this host), bit-identical CSVs, and
 a >= 3x speedup over the recorded BENCH_PR3 wall in full mode.
 
-The ``fleet`` section is this PR's gate: a 5-bay
+The ``fleetsim`` section is the PR10 gate: a fleet-scale attack
+campaign (racks x towers x bays drives, attack windows + open-loop
+service + health monitors, all events on one
+:class:`repro.sim.EventScheduler`) must cover >= 1000 drives and hold
+the events/s floor in full sizing, and the single-scheduler per-rack
+outcomes must always be byte-identical to the rack-sharded run (the
+``--workers`` discipline).
+
+The ``fleet`` section is the PR7 gate: a 5-bay
 :class:`~repro.core.fleet.DriveRack` frequency sweep through the
 batched rack kernels (one shared source/water/wall stage per
 frequency, broadcast across bays) against the per-bay scalar loop,
@@ -39,7 +47,7 @@ disabled during the scalar leg so both legs recompute from first
 principles.
 
 Usage:
-    python tools/bench_json.py [--quick] [--only SECTION] [--out BENCH_PR7.json]
+    python tools/bench_json.py [--quick] [--only SECTION] [--out BENCH_PR10.json]
 
 ``--quick`` shrinks the sweep and repeat counts for CI smoke runs; the
 recorded-reference comparisons (seed, PR2 and PR3) and the fleet
@@ -123,6 +131,16 @@ PR6_TRACED_OVERHEAD = 11.97
 #: Minimum full-protocol speedup of the batched 5-bay rack sweep over
 #: the per-bay scalar loop (acceptance gate: >= 5x).
 FLEET_SPEEDUP_TARGET = 5.0
+
+#: Full-protocol fleet-sim campaign must cover a real datacenter slice
+#: (acceptance gate: >= 1000 drives on one scheduler).
+FLEETSIM_DRIVES_TARGET = 1000
+
+#: Minimum full-protocol rack-event throughput of the fleet campaign
+#: (rack-level events through the scheduler per wall second; the full
+#: sizing measures ~1000/s on the reference host, gate at a wide
+#: cross-machine margin).
+FLEETSIM_EVENTS_PER_S_TARGET = 100.0
 
 
 def _load_recorded_reference(filename: str, fallback: dict) -> dict:
@@ -408,6 +426,79 @@ def bench_fleet(quick: bool) -> dict:
     return section
 
 
+def bench_fleetsim(quick: bool) -> dict:
+    """Fleet-scale discrete-event campaign: events/s and shard identity.
+
+    The PR10 gate: a multi-rack attack campaign (racks x towers x bays
+    drives, attack window + open-loop service + health monitors, all as
+    events on one :class:`repro.sim.EventScheduler`) must simulate the
+    full fleet — 1000 drives in full sizing — and the per-rack outcomes
+    of the single-scheduler run must be byte-identical to simulating
+    each rack on its own scheduler shard (the ``--workers`` discipline).
+    ``events_per_s`` is rack-level events through the scheduler per
+    wall-clock second, construction excluded.
+    """
+    from repro.core.fleet import AttackWindow, FleetSim, FleetSpec
+
+    spec = FleetSpec(
+        racks=2 if quick else 4,
+        towers_per_rack=5 if quick else 50,
+        bays=5,
+        duration_s=10.0 if quick else 30.0,
+        request_rate_hz=50.0 if quick else 100.0,
+        rebuild_s=5.0,
+        seed=10,
+        attacks=(
+            AttackWindow(
+                start_s=2.0,
+                duration_s=4.0 if quick else 10.0,
+                frequency_hz=650.0,
+                source_level_db=139.0,
+                distance_m=0.05,
+            ),
+        ),
+    )
+    sim = FleetSim(spec)
+    t0 = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - t0
+    events = sim.scheduler.fired
+
+    whole = [outcome.to_payload() for outcome in result.outcomes]
+    sharded = [
+        FleetSim(spec, rack_indices=(index,)).run().outcomes[0].to_payload()
+        for index in range(spec.racks)
+    ]
+    digest = hashlib.sha256(
+        json.dumps(whole, sort_keys=True).encode()
+    ).hexdigest()
+
+    section = {
+        "racks": spec.racks,
+        "towers_per_rack": spec.towers_per_rack,
+        "bays": spec.bays,
+        "duration_s": spec.duration_s,
+        "drives_simulated": result.drives,
+        "events_fired": events,
+        "host_ops": result.ops,
+        "availability": round(result.availability(), 6),
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall, 1),
+        "outcomes_sha256": digest,
+        "shard_identical": whole == sharded,
+        "drives_target": FLEETSIM_DRIVES_TARGET,
+        "events_per_s_target": FLEETSIM_EVENTS_PER_S_TARGET,
+    }
+    if not quick:
+        section["meets_drives_target"] = (
+            result.drives >= FLEETSIM_DRIVES_TARGET
+        )
+        section["meets_events_per_s_target"] = (
+            events / wall >= FLEETSIM_EVENTS_PER_S_TARGET
+        )
+    return section
+
+
 def _drive_write_rate(ops: int) -> float:
     drive = HardDiskDrive(clock=VirtualClock(), rng=make_rng(1), store_data=False)
     t0 = time.perf_counter()
@@ -481,7 +572,7 @@ def bench_micro(quick: bool) -> dict:
     }
 
 
-SECTIONS = ("sweep", "telemetry", "vecphys", "fleet", "micro")
+SECTIONS = ("sweep", "telemetry", "vecphys", "fleet", "fleetsim", "micro")
 
 
 def main(argv=None) -> int:
@@ -493,14 +584,14 @@ def main(argv=None) -> int:
         default=None,
         help="run a single section (telemetry/vecphys pull in the sweep)",
     )
-    parser.add_argument("--out", default="BENCH_PR7.json", help="output path")
+    parser.add_argument("--out", default="BENCH_PR10.json", help="output path")
     args = parser.parse_args(argv)
 
     def wanted(section: str) -> bool:
         return args.only is None or args.only == section
 
     report = {
-        "schema": "repro-bench/5",
+        "schema": "repro-bench/6",
         "generated_by": "tools/bench_json.py"
         + (" --quick" if args.quick else "")
         + (f" --only {args.only}" if args.only else ""),
@@ -518,6 +609,8 @@ def main(argv=None) -> int:
         report["vecphys"] = bench_vecphys(args.quick, sweep)
     if wanted("fleet"):
         report["fleet"] = bench_fleet(args.quick)
+    if wanted("fleetsim"):
+        report["fleetsim"] = bench_fleetsim(args.quick)
     if wanted("micro"):
         report["micro"] = bench_micro(args.quick)
 
@@ -580,6 +673,29 @@ def main(argv=None) -> int:
                 f"FAIL: batched rack sweep speedup "
                 f"{fleet['speedup_vs_scalar_path']}x is below the "
                 f"{FLEET_SPEEDUP_TARGET}x target vs the scalar loop",
+                file=sys.stderr,
+            )
+            return 1
+    fleetsim = report.get("fleetsim")
+    if fleetsim is not None:
+        if not fleetsim["shard_identical"]:
+            print(
+                "FAIL: rack-sharded fleet outcomes diverged from the "
+                "single-scheduler run",
+                file=sys.stderr,
+            )
+            return 1
+        if not fleetsim.get("meets_drives_target", True):
+            print(
+                f"FAIL: fleet campaign simulated {fleetsim['drives_simulated']} "
+                f"drives, below the {FLEETSIM_DRIVES_TARGET}-drive target",
+                file=sys.stderr,
+            )
+            return 1
+        if not fleetsim.get("meets_events_per_s_target", True):
+            print(
+                f"FAIL: fleet campaign ran {fleetsim['events_per_s']} events/s, "
+                f"below the {FLEETSIM_EVENTS_PER_S_TARGET}/s target",
                 file=sys.stderr,
             )
             return 1

@@ -12,14 +12,22 @@ Stage 2 runs ``deepcheck`` (tools/deepcheck), the AST-based invariant
 linter enforcing determinism, clock, RNG, and telemetry discipline (see
 docs/STATIC_ANALYSIS.md).  Skip it with ``--no-deepcheck``.
 
+Stage 3 enforces docstrings on the simulation-engine surface: every
+public module, class, and function under ``src/repro/sim/`` and in
+``src/repro/core/fleet.py`` must carry one (the packages document a
+determinism-and-units contract per docs/SIMULATION.md, so an
+undocumented public name there is a contract hole, not a style nit).
+Skip it with ``--no-docstrings``.
+
 The selected checker and its version are printed to stderr so CI logs
 are unambiguous about what actually gated.  Exit status is the worst of
-both stages.
+all stages.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import compileall
 import importlib.util
 import subprocess
@@ -28,6 +36,11 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 TARGETS = ["src", "tests", "benchmarks", "tools", "examples"]
+
+#: Packages whose public surface must be fully docstring-covered.  These
+#: are the modules that carry the simulation determinism/units contract;
+#: see docs/SIMULATION.md and docs/FLEET.md.
+DOCSTRING_SCOPE = [Path("src") / "repro" / "sim", Path("src") / "repro" / "core" / "fleet.py"]
 
 #: Deepcheck's rule-violation corpus is linted by deepcheck's own
 #: self-test, not by the generic checkers (its snippets intentionally
@@ -117,6 +130,63 @@ def run_generic(checker: str) -> int:
     return 2
 
 
+def _docstring_scope_files() -> list[Path]:
+    files: list[Path] = []
+    for entry in DOCSTRING_SCOPE:
+        path = ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+    return files
+
+
+def _missing_docstrings(tree: ast.Module) -> list[tuple[int, str]]:
+    """(line, description) for every undocumented public def/class/module.
+
+    A name is public when neither it nor any enclosing class is
+    underscore-prefixed; dunders other than the module itself are
+    treated as private (their contract is the protocol they implement).
+    """
+    missing: list[tuple[int, str]] = []
+    if ast.get_docstring(tree) is None:
+        missing.append((1, "module"))
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if child.name.startswith("_"):
+                continue
+            qualname = f"{prefix}{child.name}"
+            kind = "class" if isinstance(child, ast.ClassDef) else "function"
+            if ast.get_docstring(child) is None:
+                missing.append((child.lineno, f"{kind} {qualname}"))
+            if isinstance(child, ast.ClassDef):
+                visit(child, f"{qualname}.")
+
+    visit(tree, "")
+    return sorted(missing)
+
+
+def run_docstrings() -> int:
+    files = _docstring_scope_files()
+    print(
+        f"lint: docstring coverage over {len(files)} simulation-engine files",
+        file=sys.stderr,
+    )
+    status = 0
+    for path in files:
+        rel = path.relative_to(ROOT)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(rel))
+        for lineno, what in _missing_docstrings(tree):
+            print(f"{rel}:{lineno}: missing docstring on public {what}")
+            status = 1
+    return status
+
+
 def run_deepcheck() -> int:
     sys.path.insert(0, str(ROOT / "tools"))
     from deepcheck import __version__ as deepcheck_version
@@ -139,11 +209,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the repo-specific invariant linter",
     )
+    parser.add_argument(
+        "--no-docstrings",
+        action="store_true",
+        help="skip the simulation-engine docstring coverage check",
+    )
     args = parser.parse_args(argv)
 
     generic_status = run_generic(_pick_checker(args.checker))
+    docstring_status = 0 if args.no_docstrings else run_docstrings()
     deepcheck_status = 0 if args.no_deepcheck else run_deepcheck()
-    return max(generic_status, deepcheck_status)
+    return max(generic_status, docstring_status, deepcheck_status)
 
 
 if __name__ == "__main__":
